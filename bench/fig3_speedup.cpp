@@ -1,0 +1,74 @@
+// Figure 3 — "Speedup of different HTM based approaches across STAMP
+// benchmarks": speedup over sequential execution for HLE/RTM/SCM/Seer at
+// 1..8 threads on each of the eight workloads, plus the geometric mean
+// (Figure 3i). ATS is printed as an additional baseline (the paper subsumes
+// it into the RTM/SGL discussion, Table 1).
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace seer;
+using bench::Options;
+
+constexpr rt::PolicyKind kPolicies[] = {rt::PolicyKind::kHle, rt::PolicyKind::kRtm,
+                                        rt::PolicyKind::kScm, rt::PolicyKind::kAts,
+                                        rt::PolicyKind::kSeer};
+constexpr std::size_t kThreadCounts[] = {1, 2, 3, 4, 5, 6, 7, 8};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  const auto workloads = opts.selected();
+
+  std::printf("=== Figure 3: speedup vs sequential, 1-8 threads ===\n");
+  std::printf("(runs per point: %d; deterministic simulator seeds)\n\n", opts.runs);
+
+  // geo[policy][thread-count-index]
+  util::GeoMean geo[std::size(kPolicies)][std::size(kThreadCounts)];
+
+  for (const auto& info : workloads) {
+    std::printf("--- %s ---\n", info.name.c_str());
+    std::printf("%-6s", "thr");
+    for (auto kind : kPolicies) std::printf("  %8s", rt::to_string(kind));
+    std::printf("\n");
+    for (std::size_t ti = 0; ti < std::size(kThreadCounts); ++ti) {
+      const std::size_t threads = kThreadCounts[ti];
+      std::printf("%-6zu", threads);
+      for (std::size_t pi = 0; pi < std::size(kPolicies); ++pi) {
+        const bench::Summary s =
+            bench::run_config(info, opts, bench::policy_of(kPolicies[pi]), threads);
+        std::printf("  %8.2f", s.speedup);
+        geo[pi][ti].add(s.speedup);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("--- geometric mean across benchmarks (Figure 3i) ---\n");
+  std::printf("%-6s", "thr");
+  for (auto kind : kPolicies) std::printf("  %8s", rt::to_string(kind));
+  std::printf("\n");
+  for (std::size_t ti = 0; ti < std::size(kThreadCounts); ++ti) {
+    std::printf("%-6zu", kThreadCounts[ti]);
+    for (std::size_t pi = 0; pi < std::size(kPolicies); ++pi) {
+      std::printf("  %8.2f", geo[pi][ti].value());
+    }
+    std::printf("\n");
+  }
+
+  // The headline numbers (§1, §5.1): Seer vs the RTM/SCM baselines at 8t.
+  const std::size_t last = std::size(kThreadCounts) - 1;
+  const double seer8 = geo[4][last].value();
+  const double rtm8 = geo[1][last].value();
+  const double scm8 = geo[2][last].value();
+  std::printf(
+      "\nheadline @8 threads: Seer/RTM = %.2fx (%+.0f%%), Seer/SCM = %.2fx "
+      "(%+.0f%%)  [paper: +62%% avg over RTM and SCM, peaks 2-2.5x]\n",
+      seer8 / rtm8, 100.0 * (seer8 / rtm8 - 1.0), seer8 / scm8,
+      100.0 * (seer8 / scm8 - 1.0));
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 5 — "Cumulative contribution of each technique employed in Seer":
+// starting from the profile-only variant (all mechanisms paid for, no lock
+// ever taken), cumulatively enable
+//   + tx-locks        (fine-grained transaction locks, Alg. 4 l.47-49)
+//   + core-locks      (capacity-driven per-core locks, Alg. 4 l.44-46)
+//   + htm lock acq.   (multi-CAS-by-HTM batched acquisition, §4)
+//   + hill climbing   (self-tuning of Th1/Th2)
+// and report the speedup of each variant relative to the profile-only
+// baseline, per workload, at 2/4/6/8 threads.
+//
+// The final block reproduces the §5.3 side-experiment: core locks ALONE
+// (paper: +9% at 6 threads, +22% at 8 threads, geometric mean).
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace seer;
+using bench::Options;
+
+constexpr std::size_t kThreadCounts[] = {2, 4, 6, 8};
+
+struct Variant {
+  const char* label;
+  rt::PolicyConfig policy;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  const auto workloads = opts.selected();
+
+  const Variant variants[] = {
+      {"+tx-locks", bench::seer_variant(true, false, false, false)},
+      {"+core-locks", bench::seer_variant(true, true, false, false)},
+      {"+htm-lock-acq", bench::seer_variant(true, true, true, false)},
+      {"+hill-climbing", bench::seer_variant(true, true, true, true)},
+  };
+  const rt::PolicyConfig baseline = bench::seer_variant(false, false, false, false);
+
+  std::printf("=== Figure 5: cumulative contribution of Seer's techniques ===\n");
+  std::printf("(speedup relative to profile-only Seer; >1.0 = the mechanism helps)\n\n");
+
+  util::GeoMean geo[std::size(variants)][std::size(kThreadCounts)];
+
+  for (const auto& info : workloads) {
+    std::printf("--- %s ---\n", info.name.c_str());
+    std::printf("%-16s", "variant");
+    for (std::size_t t : kThreadCounts) std::printf("  %5zut", t);
+    std::printf("\n");
+    double base[std::size(kThreadCounts)];
+    for (std::size_t ti = 0; ti < std::size(kThreadCounts); ++ti) {
+      base[ti] = bench::run_config(info, opts, baseline, kThreadCounts[ti]).speedup;
+    }
+    for (std::size_t vi = 0; vi < std::size(variants); ++vi) {
+      std::printf("%-16s", variants[vi].label);
+      for (std::size_t ti = 0; ti < std::size(kThreadCounts); ++ti) {
+        const double s =
+            bench::run_config(info, opts, variants[vi].policy, kThreadCounts[ti])
+                .speedup;
+        const double rel = base[ti] > 0.0 ? s / base[ti] : 0.0;
+        std::printf("  %6.2f", rel);
+        geo[vi][ti].add(rel);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("--- geometric mean across benchmarks ---\n%-16s", "variant");
+  for (std::size_t t : kThreadCounts) std::printf("  %5zut", t);
+  std::printf("\n");
+  for (std::size_t vi = 0; vi < std::size(variants); ++vi) {
+    std::printf("%-16s", variants[vi].label);
+    for (std::size_t ti = 0; ti < std::size(kThreadCounts); ++ti) {
+      std::printf("  %6.2f", geo[vi][ti].value());
+    }
+    std::printf("\n");
+  }
+
+  // §5.3: enabling ONLY the core locks.
+  std::printf("\n--- core locks only (§5.3: paper reports +9%% @6t, +22%% @8t) ---\n");
+  const rt::PolicyConfig core_only = bench::seer_variant(false, true, false, false);
+  std::printf("%-16s", "core-locks-only");
+  for (std::size_t ti = 0; ti < std::size(kThreadCounts); ++ti) {
+    util::GeoMean g;
+    for (const auto& info : workloads) {
+      const double b = bench::run_config(info, opts, baseline, kThreadCounts[ti]).speedup;
+      const double s = bench::run_config(info, opts, core_only, kThreadCounts[ti]).speedup;
+      if (b > 0.0) g.add(s / b);
+    }
+    std::printf("  %6.2f", g.value());
+  }
+  std::printf("\n");
+  return 0;
+}

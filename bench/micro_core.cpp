@@ -1,0 +1,107 @@
+// Microbenchmarks of the Seer scheduler core's hot paths (google-benchmark).
+//
+// These quantify the per-event costs the paper's Figure 4 argues are small:
+// announcing to the active table, scanning it on commit/abort (Alg. 3), the
+// probability computations, and a full scheme rebuild (Alg. 5).
+#include <benchmark/benchmark.h>
+
+#include "core/active_tx_table.hpp"
+#include "core/conflict_stats.hpp"
+#include "core/hill_climber.hpp"
+#include "core/lock_scheme.hpp"
+#include "core/seer_scheduler.hpp"
+#include "util/gaussian.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace seer;
+
+void BM_ActiveTableAnnounce(benchmark::State& state) {
+  core::ActiveTxTable table(8);
+  core::TxTypeId t = 0;
+  for (auto _ : state) {
+    table.announce(3, t);
+    t = (t + 1) % 8;
+    benchmark::DoNotOptimize(table.peek(3));
+  }
+}
+BENCHMARK(BM_ActiveTableAnnounce);
+
+void BM_RecordAbortScan(benchmark::State& state) {
+  const auto n_threads = static_cast<std::size_t>(state.range(0));
+  core::ActiveTxTable table(n_threads);
+  for (core::ThreadId i = 0; i < n_threads; ++i) {
+    table.announce(i, static_cast<core::TxTypeId>(i % 4));
+  }
+  core::ThreadStats stats(8);
+  for (auto _ : state) {
+    stats.record_abort(2, 0, table);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecordAbortScan)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_MergeStats(benchmark::State& state) {
+  const auto n_types = static_cast<std::size_t>(state.range(0));
+  core::ThreadStats stats(n_types);
+  for (auto _ : state) {
+    core::GlobalStats g(n_types);
+    stats.merge_into(g);
+    benchmark::DoNotOptimize(g.total_executions());
+  }
+}
+BENCHMARK(BM_MergeStats)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BuildLockScheme(benchmark::State& state) {
+  const auto n_types = static_cast<std::size_t>(state.range(0));
+  core::GlobalStats g(n_types);
+  util::Xoshiro256 rng(5);
+  for (auto& a : g.aborts) a = rng.below(1000);
+  for (auto& c : g.commits) c = rng.below(1000);
+  for (auto& e : g.executions) e = 4000 + rng.below(1000);
+  const core::InferenceParams params{.th1 = 0.2, .th2 = 0.7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_lock_scheme(g, params));
+  }
+}
+BENCHMARK(BM_BuildLockScheme)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_GaussianPercentile(benchmark::State& state) {
+  double p = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::gaussian_percentile(0.4, 0.05, p));
+    p += 0.001;
+    if (p >= 0.999) p = 0.01;
+  }
+}
+BENCHMARK(BM_GaussianPercentile);
+
+void BM_HillClimberFeed(benchmark::State& state) {
+  core::HillClimber hc;
+  double score = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hc.feed(score));
+    score = score < 10.0 ? score + 0.01 : 0.1;
+  }
+}
+BENCHMARK(BM_HillClimberFeed);
+
+void BM_SchedulerRecordCommit(benchmark::State& state) {
+  core::SeerConfig cfg;
+  cfg.n_threads = 8;
+  cfg.n_types = 8;
+  core::SeerScheduler sched(cfg);
+  for (core::ThreadId i = 1; i < 8; ++i) {
+    sched.announce(i, static_cast<core::TxTypeId>(i % 4));
+  }
+  for (auto _ : state) {
+    sched.record_commit(0, 2);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerRecordCommit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Microbenchmarks of the SoftHtm software transactional backend.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "htm/soft_htm.hpp"
+
+namespace {
+
+using namespace seer;
+
+void BM_ReadOnlyTx(benchmark::State& state) {
+  const auto n_reads = static_cast<std::size_t>(state.range(0));
+  htm::SoftHtm tm;
+  htm::SoftHtm::ThreadContext ctx(tm);
+  std::vector<htm::TmWord> words(n_reads);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    const auto s = ctx.attempt([&](htm::SoftHtm::Tx& tx) {
+      for (auto& w : words) acc += tx.read(w);
+    });
+    benchmark::DoNotOptimize(acc);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReadOnlyTx)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_WriteTx(benchmark::State& state) {
+  const auto n_writes = static_cast<std::size_t>(state.range(0));
+  htm::SoftHtm tm;
+  htm::SoftHtm::ThreadContext ctx(tm);
+  std::vector<htm::TmWord> words(n_writes);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    const auto s = ctx.attempt([&](htm::SoftHtm::Tx& tx) {
+      for (auto& w : words) tx.write(w, ++v);
+    });
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WriteTx)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ReadModifyWriteTx(benchmark::State& state) {
+  htm::SoftHtm tm;
+  htm::SoftHtm::ThreadContext ctx(tm);
+  htm::TmWord counter{0};
+  for (auto _ : state) {
+    const auto s = ctx.attempt([&](htm::SoftHtm::Tx& tx) {
+      tx.write(counter, tx.read(counter) + 1);
+    });
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadModifyWriteTx);
+
+void BM_AbortRollback(benchmark::State& state) {
+  htm::SoftHtm tm;
+  htm::SoftHtm::ThreadContext ctx(tm);
+  std::vector<htm::TmWord> words(8);
+  for (auto _ : state) {
+    const auto s = ctx.attempt([&](htm::SoftHtm::Tx& tx) {
+      for (auto& w : words) tx.write(w, 1);
+      tx.abort(0x01);
+    });
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AbortRollback);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Microbenchmarks of the machine simulator: raw event throughput and
+// whole-machine simulation rates (events and transactions per second).
+#include <benchmark/benchmark.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/machine.hpp"
+#include "stamp/workloads.hpp"
+
+namespace {
+
+using namespace seer;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue q;
+  util::Xoshiro256 rng(3);
+  // Keep a standing population, push one / pop one per iteration.
+  for (int i = 0; i < 256; ++i) {
+    sim::Event e;
+    e.time = rng.below(100000);
+    q.push(e);
+  }
+  for (auto _ : state) {
+    sim::Event e;
+    e.time = q.top().time + rng.below(1000);
+    q.push(e);
+    benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_MachineRun(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::uint64_t total_commits = 0;
+  for (auto _ : state) {
+    sim::MachineConfig cfg;
+    cfg.n_threads = threads;
+    cfg.txs_per_thread = 500;
+    cfg.policy.kind = rt::PolicyKind::kSeer;
+    cfg.seed = 7;
+    const auto stats =
+        sim::run_machine(cfg, stamp::make_workload("intruder", threads));
+    total_commits += stats.commits;
+    benchmark::DoNotOptimize(stats.makespan);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_commits));
+  state.SetLabel("items = simulated transactions");
+}
+BENCHMARK(BM_MachineRun)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_WorkloadSampling(benchmark::State& state) {
+  const auto wl = stamp::make_workload("vacation-high", 8);
+  util::Xoshiro256 rng(3);
+  sim::TxInstance inst;
+  for (auto _ : state) {
+    wl->next(0, 0.5, rng, inst);
+    benchmark::DoNotOptimize(inst.footprint_lines());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadSampling);
+
+void BM_ConflictCheck(benchmark::State& state) {
+  const auto wl = stamp::make_workload("yada", 8);
+  util::Xoshiro256 rng(3);
+  sim::TxInstance a;
+  sim::TxInstance b;
+  wl->next(0, 0.5, rng, a);
+  wl->next(1, 0.5, rng, b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::instances_conflict(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConflictCheck);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Table 3 — "Breakdown of percentage (%) of types of transactions used in
+// average across STAMP": for each policy at 2/4/6/8 threads, the share of
+// transactions that committed in each mode (pure HTM, HTM under the
+// policy's locks, SGL fallback), averaged across the eight workloads.
+//
+// Also prints the §5.2 fine-granularity census: in the cases where Seer
+// acquires transaction locks, how small a fraction of the available locks
+// it takes (the paper reports <23% of the locks in 50% of the cases).
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace seer;
+using bench::Options;
+
+constexpr std::size_t kThreadCounts[] = {2, 4, 6, 8};
+
+struct Row {
+  const char* label;
+  double bench::Summary::* field;
+};
+
+void print_policy(const char* name, const Options& opts,
+                  const rt::PolicyConfig& policy,
+                  const std::vector<stamp::WorkloadInfo>& workloads,
+                  std::initializer_list<Row> rows) {
+  bench::Summary avg[std::size(kThreadCounts)];
+  for (std::size_t ti = 0; ti < std::size(kThreadCounts); ++ti) {
+    for (const auto& info : workloads) {
+      const bench::Summary s =
+          bench::run_config(info, opts, policy, kThreadCounts[ti]);
+      avg[ti].no_lock_fraction += s.no_lock_fraction;
+      avg[ti].aux_fraction += s.aux_fraction;
+      avg[ti].sched_fraction += s.sched_fraction;
+      avg[ti].tx_fraction += s.tx_fraction;
+      avg[ti].core_fraction += s.core_fraction;
+      avg[ti].tx_core_fraction += s.tx_core_fraction;
+      avg[ti].sgl_fraction += s.sgl_fraction;
+      avg[ti].txlock_median_fraction += s.txlock_median_fraction;
+      avg[ti].txlock_under_23pct += s.txlock_under_23pct;
+    }
+    const auto n = static_cast<double>(workloads.size());
+    avg[ti].no_lock_fraction /= n;
+    avg[ti].aux_fraction /= n;
+    avg[ti].sched_fraction /= n;
+    avg[ti].tx_fraction /= n;
+    avg[ti].core_fraction /= n;
+    avg[ti].tx_core_fraction /= n;
+    avg[ti].sgl_fraction /= n;
+    avg[ti].txlock_median_fraction /= n;
+    avg[ti].txlock_under_23pct /= n;
+  }
+
+  std::printf("%s\n", name);
+  for (const Row& row : rows) {
+    std::printf("  %-24s", row.label);
+    for (std::size_t ti = 0; ti < std::size(kThreadCounts); ++ti) {
+      std::printf("  %5.1f", 100.0 * (avg[ti].*(row.field)));
+    }
+    std::printf("\n");
+  }
+  if (policy.kind == rt::PolicyKind::kSeer) {
+    std::printf("  %-24s", "[census] median tx-lock %");
+    for (std::size_t ti = 0; ti < std::size(kThreadCounts); ++ti) {
+      std::printf("  %5.1f", 100.0 * avg[ti].txlock_median_fraction);
+    }
+    std::printf("\n  %-24s", "[census] P(<23% of locks)");
+    for (std::size_t ti = 0; ti < std::size(kThreadCounts); ++ti) {
+      std::printf("  %5.1f", 100.0 * avg[ti].txlock_under_23pct);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  const auto workloads = opts.selected();
+
+  std::printf("=== Table 3: %% of transaction modes, averaged across STAMP ===\n");
+  std::printf("%-26s", "Variant / Mode");
+  for (std::size_t t : kThreadCounts) std::printf("  %4zut", t);
+  std::printf("\n\n");
+
+  print_policy("HLE", opts, bench::policy_of(rt::PolicyKind::kHle), workloads,
+               {{"HTM no locks", &bench::Summary::no_lock_fraction},
+                {"SGL fall-back", &bench::Summary::sgl_fraction}});
+
+  print_policy("RTM", opts, bench::policy_of(rt::PolicyKind::kRtm), workloads,
+               {{"HTM no locks", &bench::Summary::no_lock_fraction},
+                {"SGL fall-back", &bench::Summary::sgl_fraction}});
+
+  print_policy("SCM", opts, bench::policy_of(rt::PolicyKind::kScm), workloads,
+               {{"HTM no locks", &bench::Summary::no_lock_fraction},
+                {"HTM + Aux lock", &bench::Summary::aux_fraction},
+                {"SGL fall-back", &bench::Summary::sgl_fraction}});
+
+  print_policy("ATS (extra baseline)", opts, bench::policy_of(rt::PolicyKind::kAts),
+               workloads,
+               {{"HTM no locks", &bench::Summary::no_lock_fraction},
+                {"HTM + Sched lock", &bench::Summary::sched_fraction},
+                {"SGL fall-back", &bench::Summary::sgl_fraction}});
+
+  print_policy("Seer", opts, bench::policy_of(rt::PolicyKind::kSeer), workloads,
+               {{"HTM no locks", &bench::Summary::no_lock_fraction},
+                {"HTM + Tx Locks", &bench::Summary::tx_fraction},
+                {"HTM + Core Locks", &bench::Summary::core_fraction},
+                {"HTM + Tx + Core Locks", &bench::Summary::tx_core_fraction},
+                {"SGL fall-back", &bench::Summary::sgl_fraction}});
+
+  std::printf(
+      "paper reference @8t: HLE 23/77, RTM 63/37, SCM 66/29/5,\n"
+      "                     Seer 80/3/4/12/1 (no-locks/tx/core/tx+core/SGL)\n");
+  return 0;
+}

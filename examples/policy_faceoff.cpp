@@ -1,0 +1,78 @@
+// policy_faceoff — compare every scheduling policy on one workload.
+//
+// Thread-count sweep of HLE / RTM / SCM / ATS / SGL / Seer on a chosen
+// STAMP stand-in, printing the Figure-3-style speedup curves plus fallback
+// rates side by side.
+//
+//   usage: policy_faceoff [workload=genome] [txs=3000] [seed=7]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/machine.hpp"
+#include "stamp/workloads.hpp"
+
+using namespace seer;
+
+int main(int argc, char** argv) {
+  const std::string workload = argc > 1 ? argv[1] : "genome";
+  const std::uint64_t txs = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 3000;
+  const std::uint64_t seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 7;
+
+  constexpr rt::PolicyKind kPolicies[] = {rt::PolicyKind::kHle, rt::PolicyKind::kRtm,
+                                          rt::PolicyKind::kScm, rt::PolicyKind::kAts,
+                                          rt::PolicyKind::kSgl, rt::PolicyKind::kSeer};
+  constexpr std::size_t kThreads[] = {1, 2, 4, 6, 8};
+
+  try {
+    (void)stamp::make_workload(workload, 1);
+  } catch (const std::out_of_range&) {
+    std::fprintf(stderr, "unknown workload '%s'; available:", workload.c_str());
+    for (const auto& info : stamp::all_workloads()) {
+      std::fprintf(stderr, " %s", info.name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  std::printf("workload %s, %llu txs/thread, seed %llu\n\n", workload.c_str(),
+              static_cast<unsigned long long>(txs),
+              static_cast<unsigned long long>(seed));
+  std::printf("speedup vs sequential:\n%-6s", "thr");
+  for (auto kind : kPolicies) std::printf("  %8s", rt::to_string(kind));
+  std::printf("\n");
+
+  double sgl_at_8[std::size(kPolicies)] = {};
+  double abcm_at_8[std::size(kPolicies)] = {};
+
+  for (std::size_t threads : kThreads) {
+    std::printf("%-6zu", threads);
+    for (std::size_t pi = 0; pi < std::size(kPolicies); ++pi) {
+      sim::MachineConfig cfg;
+      cfg.n_threads = threads;
+      cfg.txs_per_thread = txs;
+      cfg.policy.kind = kPolicies[pi];
+      cfg.seed = seed;
+      const sim::MachineStats s =
+          sim::run_machine(cfg, stamp::make_workload(workload, threads));
+      std::printf("  %8.2f", s.speedup());
+      if (threads == 8) {
+        sgl_at_8[pi] = s.mode_fraction(rt::CommitMode::kSglFallback);
+        abcm_at_8[pi] =
+            static_cast<double>(s.aborts()) / static_cast<double>(s.commits);
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nat 8 threads:\n%-18s", "SGL fallback %");
+  for (std::size_t pi = 0; pi < std::size(kPolicies); ++pi) {
+    std::printf("  %8.1f", 100.0 * sgl_at_8[pi]);
+  }
+  std::printf("\n%-18s", "aborts/commit");
+  for (std::size_t pi = 0; pi < std::size(kPolicies); ++pi) {
+    std::printf("  %8.2f", abcm_at_8[pi]);
+  }
+  std::printf("\n");
+  return 0;
+}

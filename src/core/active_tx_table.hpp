@@ -1,0 +1,50 @@
+// The active-transactions table (Table 2: `activeTxs`).
+//
+// One slot per hardware thread. A thread announces the transaction type it
+// is about to execute (Alg. 1 line 5) and clears the slot when it finishes
+// (Alg. 2 line 32). Slots are single-writer multi-reader registers: the
+// paper deliberately uses *no* synchronization here — the whole point of
+// Seer is that this imprecise, race-prone snapshot is good enough for
+// probabilistic inference. We use relaxed atomics so the C++ memory model
+// blesses the same lightweight behaviour.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/cacheline.hpp"
+
+namespace seer::core {
+
+class ActiveTxTable {
+ public:
+  explicit ActiveTxTable(std::size_t n_threads) : slots_(n_threads) {
+    assert(n_threads > 0 && n_threads <= kMaxThreads);
+    for (auto& s : slots_) s.value.store(kNoTx, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+  // Announce that `thread` is executing an instance of `tx`.
+  void announce(ThreadId thread, TxTypeId tx) noexcept {
+    slots_[thread].value.store(tx, std::memory_order_relaxed);
+  }
+
+  // The thread finished its transaction (Alg. 2 line 32).
+  void clear(ThreadId thread) noexcept {
+    slots_[thread].value.store(kNoTx, std::memory_order_relaxed);
+  }
+
+  // What is thread `i` running right now (kNoTx if idle)?
+  [[nodiscard]] TxTypeId peek(ThreadId i) const noexcept {
+    return slots_[i].value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<util::Padded<std::atomic<TxTypeId>>> slots_;
+};
+
+}  // namespace seer::core

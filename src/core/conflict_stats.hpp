@@ -1,0 +1,130 @@
+// Per-thread commit/abort statistics (Table 2: commitStats, abortStats,
+// executions; Alg. 3 REGISTER-ABORT / REGISTER-COMMIT).
+//
+// Each thread owns a private slab of counters; on every commit or abort it
+// scans the active-transactions table and bumps, for its own transaction
+// type x and every concurrently announced type y, the (x, y) cell of the
+// commit or abort matrix. Slabs are written only by their owner and read by
+// the one thread that periodically merges them (Alg. 5 prologue) — relaxed
+// atomics make that single-writer pattern well-defined without imposing any
+// ordering cost on the hot path.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "core/active_tx_table.hpp"
+#include "core/types.hpp"
+
+namespace seer::core {
+
+// Merged, plain-integer view used by the inference step.
+struct GlobalStats {
+  std::size_t n_types = 0;
+  std::vector<std::uint64_t> aborts;      // n_types * n_types, row-major
+  std::vector<std::uint64_t> commits;     // n_types * n_types, row-major
+  std::vector<std::uint64_t> executions;  // n_types
+
+  explicit GlobalStats(std::size_t types = 0)
+      : n_types(types),
+        aborts(types * types, 0),
+        commits(types * types, 0),
+        executions(types, 0) {}
+
+  [[nodiscard]] std::uint64_t abort(TxTypeId x, TxTypeId y) const noexcept {
+    return aborts[idx(x, y)];
+  }
+  [[nodiscard]] std::uint64_t commit(TxTypeId x, TxTypeId y) const noexcept {
+    return commits[idx(x, y)];
+  }
+  [[nodiscard]] std::uint64_t execs(TxTypeId x) const noexcept {
+    return executions[static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] std::size_t idx(TxTypeId x, TxTypeId y) const noexcept {
+    return static_cast<std::size_t>(x) * n_types + static_cast<std::size_t>(y);
+  }
+  [[nodiscard]] std::uint64_t total_executions() const noexcept {
+    std::uint64_t t = 0;
+    for (auto e : executions) t += e;
+    return t;
+  }
+};
+
+class ThreadStats {
+ public:
+  explicit ThreadStats(std::size_t n_types)
+      : n_types_(n_types),
+        aborts_(n_types * n_types),
+        commits_(n_types * n_types),
+        executions_(n_types) {}
+
+  // Alg. 3 lines 33-37. `self` is the slot of the recording thread, which is
+  // skipped when scanning (a transaction is not concurrent with itself).
+  void record_abort(TxTypeId tx, ThreadId self, const ActiveTxTable& active) noexcept {
+    bump(executions_[static_cast<std::size_t>(tx)]);
+    scan(tx, self, active, aborts_);
+  }
+
+  // Alg. 3 lines 38-42.
+  void record_commit(TxTypeId tx, ThreadId self, const ActiveTxTable& active) noexcept {
+    bump(executions_[static_cast<std::size_t>(tx)]);
+    scan(tx, self, active, commits_);
+  }
+
+  // Adds this slab into `out` (Alg. 5: periodic merge across per-core
+  // matrices). Safe to run concurrently with the owner thread recording.
+  void merge_into(GlobalStats& out) const noexcept {
+    assert(out.n_types == n_types_);
+    for (std::size_t i = 0; i < aborts_.size(); ++i) {
+      out.aborts[i] += aborts_[i].load(std::memory_order_relaxed);
+      out.commits[i] += commits_[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t t = 0; t < n_types_; ++t) {
+      out.executions[t] += executions_[t].load(std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::size_t n_types() const noexcept { return n_types_; }
+
+  // Test hooks.
+  [[nodiscard]] std::uint64_t abort_cell(TxTypeId x, TxTypeId y) const noexcept {
+    return cell(aborts_, x, y);
+  }
+  [[nodiscard]] std::uint64_t commit_cell(TxTypeId x, TxTypeId y) const noexcept {
+    return cell(commits_, x, y);
+  }
+
+ private:
+  using Counter = std::atomic<std::uint64_t>;
+
+  static void bump(Counter& c) noexcept {
+    // Single-writer counter: a plain load+store beats a locked RMW.
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
+  void scan(TxTypeId tx, ThreadId self, const ActiveTxTable& active,
+            std::vector<Counter>& matrix) noexcept {
+    const auto row = static_cast<std::size_t>(tx) * n_types_;
+    for (ThreadId i = 0; i < active.size(); ++i) {
+      if (i == self) continue;
+      const TxTypeId other = active.peek(i);
+      if (other == kNoTx) continue;
+      bump(matrix[row + static_cast<std::size_t>(other)]);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t cell(const std::vector<Counter>& m, TxTypeId x,
+                                   TxTypeId y) const noexcept {
+    return m[static_cast<std::size_t>(x) * n_types_ + static_cast<std::size_t>(y)].load(
+        std::memory_order_relaxed);
+  }
+
+  std::size_t n_types_;
+  std::vector<Counter> aborts_;
+  std::vector<Counter> commits_;
+  std::vector<Counter> executions_;
+};
+
+}  // namespace seer::core

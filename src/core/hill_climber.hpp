@@ -1,0 +1,107 @@
+// Bi-dimensional stochastic hill climbing over (Th1, Th2) (§4, last
+// paragraph).
+//
+// Seer self-tunes the two inference thresholds using run-time throughput
+// feedback: each tuning epoch it holds a candidate point, observes the
+// throughput achieved while that point was active, and moves in the
+// direction of improvement. With a small probability p the climber jumps to
+// a random point to escape local minima. The paper's standard values are
+// p = 0.1% and the initial point (Th1, Th2) = (0.3, 0.8).
+//
+// The climber is deliberately generic (it optimizes any 2-D box-constrained
+// objective driven by externally supplied scores) so it can be unit-tested
+// against synthetic response surfaces.
+#pragma once
+
+#include <algorithm>
+#include <array>
+
+#include "util/rng.hpp"
+
+namespace seer::core {
+
+struct HillClimberConfig {
+  double initial_x = 0.3;       // Th1 start (paper)
+  double initial_y = 0.8;       // Th2 start (paper)
+  double step = 0.08;           // neighbourhood radius per move
+  double jump_probability = 0.001;  // paper's p = 0.1%
+  double lo = 0.0;
+  double hi = 1.0;
+  std::uint64_t seed = 42;
+};
+
+class HillClimber {
+ public:
+  struct Point {
+    double x;
+    double y;
+  };
+
+  explicit HillClimber(HillClimberConfig cfg = {})
+      : cfg_(cfg),
+        rng_(cfg.seed),
+        best_{cfg.initial_x, cfg.initial_y},
+        candidate_(best_) {}
+
+  // The point the system should currently be running with.
+  [[nodiscard]] Point current() const noexcept { return candidate_; }
+  [[nodiscard]] Point best() const noexcept { return best_; }
+  [[nodiscard]] double best_score() const noexcept { return best_score_; }
+  [[nodiscard]] std::uint64_t epochs() const noexcept { return epochs_; }
+
+  // Reports the objective achieved while `current()` was active and
+  // advances the search. Returns the next point to run with.
+  Point feed(double score) {
+    ++epochs_;
+    if (!has_baseline_) {
+      // First observation establishes the baseline at the initial point.
+      best_score_ = score;
+      has_baseline_ = true;
+    } else if (score > best_score_) {
+      best_score_ = score;
+      best_ = candidate_;
+    } else {
+      // Candidate did not improve: retreat to the best-known point before
+      // proposing the next neighbour.
+      candidate_ = best_;
+    }
+    propose_next();
+    return candidate_;
+  }
+
+ private:
+  void propose_next() {
+    if (rng_.bernoulli(cfg_.jump_probability)) {
+      candidate_ = Point{random_coord(), random_coord()};
+      return;
+    }
+    // Perturb one dimension at a time (coordinate-wise stochastic descent);
+    // alternating dimensions keeps moves axis-aligned and cheap to reason
+    // about, while the random sign explores both directions.
+    Point p = best_;
+    const double delta = (rng_.bernoulli(0.5) ? 1.0 : -1.0) * cfg_.step;
+    if (rng_.bernoulli(0.5)) {
+      p.x = clamp(p.x + delta);
+    } else {
+      p.y = clamp(p.y + delta);
+    }
+    candidate_ = p;
+  }
+
+  [[nodiscard]] double clamp(double v) const noexcept {
+    return std::clamp(v, cfg_.lo, cfg_.hi);
+  }
+  [[nodiscard]] double random_coord() noexcept {
+    return cfg_.lo + rng_.uniform01() * (cfg_.hi - cfg_.lo);
+  }
+
+  HillClimberConfig cfg_;
+  util::Xoshiro256 rng_;
+  Point best_;
+  Point candidate_;
+  double best_score_ = 0.0;
+  bool has_baseline_ = false;
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace seer::core

@@ -1,0 +1,69 @@
+#include "core/lock_scheme.hpp"
+
+#include <algorithm>
+
+#include "util/gaussian.hpp"
+#include "util/stats.hpp"
+
+namespace seer::core {
+
+void LockScheme::add(TxTypeId x, TxTypeId y) {
+  LockRow& r = rows_[static_cast<std::size_t>(x)];
+  auto pos = std::lower_bound(r.begin(), r.end(), y);
+  if (pos != r.end() && *pos == y) return;  // already present
+  if (r.full()) return;                     // best-effort cap
+  r.push_back(y);                           // grow, then rotate into place
+  std::rotate(pos, r.end() - 1, r.end());
+}
+
+bool LockScheme::empty() const noexcept {
+  return std::all_of(rows_.begin(), rows_.end(),
+                     [](const LockRow& r) { return r.empty(); });
+}
+
+std::size_t LockScheme::edge_count() const noexcept {
+  std::size_t n = 0;
+  for (const LockRow& r : rows_) n += r.size();
+  return n;
+}
+
+std::shared_ptr<const LockScheme> build_lock_scheme(const GlobalStats& stats,
+                                                    const InferenceParams& params) {
+  const auto n = static_cast<TxTypeId>(stats.n_types);
+  auto scheme = std::make_shared<LockScheme>(stats.n_types);
+  const ProbabilityModel prob(stats);
+
+  for (TxTypeId x = 0; x < n; ++x) {
+    // Fit N(eta, sigma^2) to the conditional abort probabilities of x
+    // against every candidate peer (Alg. 5 lines 67-68). Only pairs with
+    // actual concurrent observations contribute evidence.
+    util::RunningStats fit;
+    for (TxTypeId y = 0; y < n; ++y) {
+      if (prob.observed_concurrent(x, y)) {
+        fit.add(prob.conditional_abort(x, y));
+      }
+    }
+    if (fit.count() == 0) continue;  // x never observed anyone concurrent
+
+    const double cutoff =
+        util::gaussian_percentile(fit.mean(), fit.variance(), params.th2);
+
+    for (TxTypeId y = 0; y < n; ++y) {
+      if (!prob.observed_concurrent(x, y)) continue;
+      // Alg. 5 line 72: conjunctive probability must clear Th1 AND the
+      // conditional probability must sit in the Gaussian tail beyond the
+      // Th2-th percentile.
+      const bool frequent = prob.conjunctive_abort(x, y) > params.th1;
+      const bool outlier = prob.conditional_abort(x, y) > cutoff;
+      if (frequent && outlier) {
+        // Contending transactions take each other's locks (lines 73-74);
+        // x == y (self-contention) degenerates to one self edge.
+        scheme->add(x, y);
+        scheme->add(y, x);
+      }
+    }
+  }
+  return scheme;
+}
+
+}  // namespace seer::core

@@ -1,0 +1,66 @@
+// The dynamic fine-grained locking scheme (Table 2: locksToAcquire;
+// Alg. 5: UPDATE-SEER-LOCKS).
+//
+// One lock exists per transaction type. Row x of the scheme lists the locks
+// instances of x must ACQUIRE before their last hardware attempt; in
+// addition every transaction x WAITS for its own lock L_x to be free before
+// starting (Alg. 4 line 57), which is how the pairwise serialization closes:
+// if Seer decides x and y contend, x acquires L_y and y acquires L_x, and
+// each also yields to its own lock when the other holds it.
+//
+// Rows are kept canonically sorted so that multi-lock acquisition happens in
+// a global order and can never deadlock (§4, "All rows are sorted
+// consistently by the periodic update").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/probability.hpp"
+#include "core/types.hpp"
+#include "util/small_vec.hpp"
+
+namespace seer::core {
+
+// A transaction acquires at most this many peer locks; beyond that the
+// scheme would serialize it against most of the program anyway. 16 covers
+// every STAMP application (3–8 atomic blocks each).
+inline constexpr std::size_t kMaxLocksPerRow = 16;
+
+using LockRow = util::SmallVec<TxTypeId, kMaxLocksPerRow>;
+
+class LockScheme {
+ public:
+  explicit LockScheme(std::size_t n_types) : rows_(n_types) {}
+
+  [[nodiscard]] std::size_t n_types() const noexcept { return rows_.size(); }
+  [[nodiscard]] const LockRow& row(TxTypeId x) const noexcept {
+    return rows_[static_cast<std::size_t>(x)];
+  }
+
+  // Builder-side mutation: records "x must take y's lock". Keeps the row
+  // sorted and deduplicated; silently drops overflow beyond kMaxLocksPerRow
+  // (a row that long serializes x against everything already).
+  void add(TxTypeId x, TxTypeId y);
+
+  [[nodiscard]] bool empty() const noexcept;
+  // Total number of (x, y) acquire edges — diagnostics for §5.2.
+  [[nodiscard]] std::size_t edge_count() const noexcept;
+
+ private:
+  std::vector<LockRow> rows_;
+};
+
+// Tunable thresholds (self-tuned at runtime by the hill climber).
+struct InferenceParams {
+  double th1 = 0.3;  // floor on P(x aborts ∩ x||y)     (paper's init value)
+  double th2 = 0.8;  // Gaussian-percentile cut-off on P(x aborts | x||y)
+};
+
+// Alg. 5. Pure function from merged statistics + thresholds to a scheme;
+// trivially unit-testable.
+[[nodiscard]] std::shared_ptr<const LockScheme> build_lock_scheme(
+    const GlobalStats& stats, const InferenceParams& params);
+
+}  // namespace seer::core

@@ -1,0 +1,53 @@
+// Probability estimates over the merged statistics (§4, "Devising the
+// Locking Scheme").
+//
+// With the paper's abbreviations a_xy = abortStats[x][y],
+// c_xy = commitStats[x][y], e_x = executions[x]:
+//
+//   P(x aborts | x || y)  =  a_xy / (c_xy + a_xy)       (conditional)
+//   P(x aborts ∩ x || y)  =  a_xy / e_x                 (conjunctive)
+//
+// The conjunctive probability gates on Th1 (is this pair's abort evidence
+// frequent enough, relative to everything x does, to bother serializing?);
+// the conditional probability feeds the Gaussian tail test gated by Th2
+// (among the transactions seen concurrently with x, is y unusually likely
+// to coincide with x's aborts?).
+#pragma once
+
+#include "core/conflict_stats.hpp"
+
+namespace seer::core {
+
+class ProbabilityModel {
+ public:
+  explicit ProbabilityModel(const GlobalStats& stats) : stats_(&stats) {}
+
+  // P(x aborts | x || y). Returns 0 when x and y were never observed
+  // concurrently (no evidence either way).
+  [[nodiscard]] double conditional_abort(TxTypeId x, TxTypeId y) const noexcept {
+    const double a = static_cast<double>(stats_->abort(x, y));
+    const double c = static_cast<double>(stats_->commit(x, y));
+    const double denom = a + c;
+    return denom > 0.0 ? a / denom : 0.0;
+  }
+
+  // P(x aborts ∩ x || y).
+  [[nodiscard]] double conjunctive_abort(TxTypeId x, TxTypeId y) const noexcept {
+    const double e = static_cast<double>(stats_->execs(x));
+    if (e <= 0.0) return 0.0;
+    return static_cast<double>(stats_->abort(x, y)) / e;
+  }
+
+  // True when the pair was ever observed running concurrently — pairs with
+  // zero joint observations carry no evidence and are excluded from the
+  // Gaussian fit (they would otherwise drag the mean toward zero purely
+  // because the program never ran them together).
+  [[nodiscard]] bool observed_concurrent(TxTypeId x, TxTypeId y) const noexcept {
+    return stats_->abort(x, y) + stats_->commit(x, y) > 0;
+  }
+
+ private:
+  const GlobalStats* stats_;
+};
+
+}  // namespace seer::core

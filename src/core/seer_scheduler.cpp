@@ -1,0 +1,106 @@
+#include "core/seer_scheduler.hpp"
+
+namespace seer::core {
+
+SeerScheduler::SeerScheduler(const SeerConfig& cfg)
+    : cfg_(cfg),
+      active_(cfg.n_threads),
+      commit_counts_(cfg.n_threads),
+      scheme_(std::make_shared<LockScheme>(cfg.n_types)),
+      params_(cfg.initial_params),
+      climber_(HillClimberConfig{.initial_x = cfg.initial_params.th1,
+                                 .initial_y = cfg.initial_params.th2,
+                                 .seed = cfg.seed}) {
+  slabs_.reserve(cfg.n_threads);
+  for (std::size_t t = 0; t < cfg.n_threads; ++t) {
+    slabs_.push_back(std::make_unique<ThreadStats>(cfg.n_types));
+  }
+  for (auto& c : commit_counts_) c.value.store(0, std::memory_order_relaxed);
+}
+
+GlobalStats SeerScheduler::merged_stats() const {
+  GlobalStats out(cfg_.n_types);
+  for (const auto& slab : slabs_) slab->merge_into(out);
+  return out;
+}
+
+std::uint64_t SeerScheduler::total_commits() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& c : commit_counts_) {
+    total += c.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+bool SeerScheduler::maybe_update(ThreadId thread, std::uint64_t now) {
+  if (thread != 0) return false;  // single designated maintainer — no locks
+  const std::uint64_t seen = executions_seen_.load(std::memory_order_relaxed);
+  if (seen - executions_at_last_rebuild_ < cfg_.update_period) return false;
+  executions_at_last_rebuild_ = seen;
+  rebuild(now);
+  return true;
+}
+
+void SeerScheduler::force_update(std::uint64_t now) { rebuild(now); }
+
+void SeerScheduler::rebuild(std::uint64_t now) {
+  ++rebuilds_;
+
+  // Hill-climber epoch boundary: score the thresholds that were live during
+  // the epoch by the commit throughput they produced.
+  if (cfg_.enable_hill_climbing &&
+      rebuilds_ - rebuilds_at_last_epoch_ >= cfg_.rebuilds_per_tuning_epoch) {
+    const std::uint64_t commits = total_commits();
+    if (!epoch_clock_started_) {
+      epoch_clock_started_ = true;
+    } else if (now > time_at_last_epoch_) {
+      const double throughput =
+          static_cast<double>(commits - commits_at_last_epoch_) /
+          static_cast<double>(now - time_at_last_epoch_);
+      const HillClimber::Point p = climber_.feed(throughput);
+      params_ = InferenceParams{.th1 = p.x, .th2 = p.y};
+    }
+    commits_at_last_epoch_ = commits;
+    time_at_last_epoch_ = now;
+    rebuilds_at_last_epoch_ = rebuilds_;
+  }
+
+  GlobalStats merged = merged_stats();
+  if (cfg_.stats_decay < 1.0) {
+    // Fold the delta since the previous rebuild into exponentially decayed
+    // accumulators, then hand the inference a rounded snapshot of those.
+    if (decayed_aborts_.empty()) {
+      last_merged_ = GlobalStats(cfg_.n_types);
+      decayed_aborts_.assign(merged.aborts.size(), 0.0);
+      decayed_commits_.assign(merged.commits.size(), 0.0);
+      decayed_execs_.assign(merged.executions.size(), 0.0);
+    }
+    const double d = cfg_.stats_decay;
+    for (std::size_t i = 0; i < merged.aborts.size(); ++i) {
+      decayed_aborts_[i] =
+          decayed_aborts_[i] * d +
+          static_cast<double>(merged.aborts[i] - last_merged_.aborts[i]);
+      decayed_commits_[i] =
+          decayed_commits_[i] * d +
+          static_cast<double>(merged.commits[i] - last_merged_.commits[i]);
+    }
+    for (std::size_t t = 0; t < merged.executions.size(); ++t) {
+      decayed_execs_[t] =
+          decayed_execs_[t] * d +
+          static_cast<double>(merged.executions[t] - last_merged_.executions[t]);
+    }
+    last_merged_ = merged;
+    for (std::size_t i = 0; i < merged.aborts.size(); ++i) {
+      merged.aborts[i] = static_cast<std::uint64_t>(decayed_aborts_[i]);
+      merged.commits[i] = static_cast<std::uint64_t>(decayed_commits_[i]);
+    }
+    for (std::size_t t = 0; t < merged.executions.size(); ++t) {
+      merged.executions[t] = static_cast<std::uint64_t>(decayed_execs_[t]);
+    }
+  }
+
+  auto next = build_lock_scheme(merged, params_);
+  std::atomic_store_explicit(&scheme_, std::move(next), std::memory_order_release);
+}
+
+}  // namespace seer::core

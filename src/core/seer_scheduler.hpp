@@ -1,0 +1,148 @@
+// SeerScheduler — the façade tying together the active-transactions table,
+// the per-thread statistics, the lock-scheme inference (Alg. 5) and the
+// threshold self-tuning.
+//
+// This class is backend-agnostic: the threaded runtime (over SoftHtm or real
+// TSX) and the machine simulator both drive it through the same five calls:
+//
+//   announce / clear          — Alg. 1 line 5 / Alg. 2 line 32
+//   record_abort / commit     — Alg. 3
+//   maybe_update              — Alg. 4 lines 52-54 (designated thread only)
+//
+// and read scheduling decisions through `scheme()`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/active_tx_table.hpp"
+#include "core/conflict_stats.hpp"
+#include "core/hill_climber.hpp"
+#include "core/lock_scheme.hpp"
+#include "core/types.hpp"
+#include "util/cacheline.hpp"
+
+namespace seer::core {
+
+// Feature toggles for the Figure 4 / Figure 5 ablations, plus the paper's
+// fixed constants.
+struct SeerConfig {
+  std::size_t n_threads = 8;
+  std::size_t n_types = 8;
+  std::size_t physical_cores = 4;  // SMT siblings share thread % physical_cores
+
+  // Mechanism toggles (§5.3: each is one cumulative variant of Figure 5).
+  bool enable_tx_locks = true;        // fine-grained transaction locks
+  bool enable_core_locks = true;      // capacity-driven per-core locks
+  bool enable_htm_lock_acquire = true;  // batch lock acquisition inside HTM
+  bool enable_hill_climbing = true;   // self-tune Th1/Th2
+
+  // Retry budget for hardware attempts (paper §5.1 uses 5, citing Intel).
+  int max_attempts = 5;
+
+  // Scheme maintenance cadence, in transaction executions between rebuilds.
+  // The paper rebuilds opportunistically while waiting on the SGL; we also
+  // rebuild every `update_period` executions (DESIGN.md deviation #1).
+  std::uint64_t update_period = 512;
+  // Hill-climber epoch length, in scheme rebuilds per tuning step.
+  std::uint64_t rebuilds_per_tuning_epoch = 2;
+
+  InferenceParams initial_params{};
+  std::uint64_t seed = 1;
+
+  // --- extensions beyond the paper (its §6 future-work directions) -------
+  // Probabilistic sampling of the Alg. 3 statistics (Dice/Lev/Moir-style
+  // scalable counters): each commit/abort is recorded with probability
+  // 2^-sampling_shift. The inference consumes only count *ratios*, so
+  // uniform sampling leaves the probabilities unbiased while cutting the
+  // instrumentation cost proportionally. 0 = record everything (paper).
+  std::uint32_t sampling_shift = 0;
+  // Exponential decay of the merged statistics between rebuilds, so the
+  // scheme tracks time-varying workloads (phased benchmarks) instead of
+  // being dominated by stale history. 1.0 = pure accumulation (paper).
+  double stats_decay = 1.0;
+};
+
+class SeerScheduler {
+ public:
+  explicit SeerScheduler(const SeerConfig& cfg);
+  SeerScheduler(const SeerScheduler&) = delete;
+  SeerScheduler& operator=(const SeerScheduler&) = delete;
+
+  [[nodiscard]] const SeerConfig& config() const noexcept { return cfg_; }
+
+  // --- hot path -----------------------------------------------------------
+  void announce(ThreadId thread, TxTypeId tx) noexcept { active_.announce(thread, tx); }
+  void clear(ThreadId thread) noexcept { active_.clear(thread); }
+
+  void record_abort(ThreadId thread, TxTypeId tx) noexcept {
+    slabs_[thread]->record_abort(tx, thread, active_);
+    // Aborts are executions too (Alg. 3 line 34): the rebuild cadence must
+    // advance even in fallback-heavy phases where commits are scarce,
+    // otherwise the scheduler could never learn its way out of them.
+    executions_seen_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_commit(ThreadId thread, TxTypeId tx) noexcept {
+    slabs_[thread]->record_commit(tx, thread, active_);
+    commit_counts_[thread].value.store(
+        commit_counts_[thread].value.load(std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    executions_seen_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Current locking scheme; lock-free snapshot (scheme swaps use the
+  // indirection-pointer trick the paper describes).
+  [[nodiscard]] std::shared_ptr<const LockScheme> scheme() const {
+    return std::atomic_load_explicit(&scheme_, std::memory_order_acquire);
+  }
+
+  // --- maintenance (designated thread) -------------------------------------
+  // Rebuilds the scheme if `update_period` executions elapsed since the last
+  // rebuild, and feeds the hill climber every few rebuilds. `now` is a
+  // monotonic timestamp in arbitrary units (simulated cycles or rdtsc ticks)
+  // used to turn commit counts into throughput. Only the designated thread
+  // (0) may call this; returns true if a rebuild happened.
+  bool maybe_update(ThreadId thread, std::uint64_t now);
+
+  // Unconditional rebuild (tests, and the SGL-wait trigger).
+  void force_update(std::uint64_t now);
+
+  // --- introspection --------------------------------------------------------
+  [[nodiscard]] InferenceParams params() const noexcept { return params_; }
+  [[nodiscard]] std::uint64_t rebuild_count() const noexcept { return rebuilds_; }
+  [[nodiscard]] std::uint64_t tuning_epochs() const noexcept { return climber_.epochs(); }
+  [[nodiscard]] const ActiveTxTable& active_table() const noexcept { return active_; }
+  [[nodiscard]] GlobalStats merged_stats() const;
+  [[nodiscard]] std::uint64_t total_commits() const noexcept;
+
+ private:
+  void rebuild(std::uint64_t now);
+
+  SeerConfig cfg_;
+  ActiveTxTable active_;
+  std::vector<std::unique_ptr<ThreadStats>> slabs_;
+  std::vector<util::Padded<std::atomic<std::uint64_t>>> commit_counts_;
+
+  std::shared_ptr<const LockScheme> scheme_;
+  InferenceParams params_;
+  HillClimber climber_;
+
+  // Decay extension state: lifetime totals at the previous rebuild and the
+  // decayed accumulator the scheme is built from (when stats_decay < 1).
+  GlobalStats last_merged_;
+  std::vector<double> decayed_aborts_;
+  std::vector<double> decayed_commits_;
+  std::vector<double> decayed_execs_;
+
+  std::atomic<std::uint64_t> executions_seen_{0};
+  std::uint64_t executions_at_last_rebuild_ = 0;
+  std::uint64_t rebuilds_ = 0;
+  std::uint64_t rebuilds_at_last_epoch_ = 0;
+  std::uint64_t commits_at_last_epoch_ = 0;
+  std::uint64_t time_at_last_epoch_ = 0;
+  bool epoch_clock_started_ = false;
+};
+
+}  // namespace seer::core

@@ -1,0 +1,23 @@
+// Shared identifier types for the scheduler core.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace seer::core {
+
+// Identifier of a transaction *type* — one per static atomic block of the
+// program (the paper's T_i). The compiler-support the paper assumes is just
+// "enumerate the atomic blocks and pass the id into the TM library".
+using TxTypeId = std::int32_t;
+
+// Slot in the active-transactions table; one per hardware thread.
+// The paper binds each thread to a core, so thread id == slot id.
+using ThreadId = std::uint32_t;
+
+inline constexpr TxTypeId kNoTx = -1;
+
+// Upper bound on hardware threads supported without reallocation.
+inline constexpr std::size_t kMaxThreads = 64;
+
+}  // namespace seer::core

@@ -1,0 +1,193 @@
+#include "htm/soft_htm.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace seer::htm {
+
+SoftHtm::SoftHtm(Config cfg) : cfg_(cfg) {
+  assert(std::has_single_bit(cfg_.stripes) && "stripe count must be a power of two");
+  stripe_mask_ = cfg_.stripes - 1;
+  stripes_ = std::make_unique<util::Padded<std::atomic<std::uint64_t>>[]>(cfg_.stripes);
+  for (std::size_t i = 0; i < cfg_.stripes; ++i) {
+    stripes_[i].value.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t SoftHtm::Tx::read(const TmWord& w) { return ctx_.do_read(w); }
+void SoftHtm::Tx::write(TmWord& w, std::uint64_t value) { ctx_.do_write(w, value); }
+void SoftHtm::Tx::abort(std::uint8_t code) {
+  ctx_.abort_with(AbortStatus::explicit_abort(code));
+}
+void SoftHtm::Tx::subscribe(const std::atomic<std::uint64_t>& word, std::uint64_t expected) {
+  ctx_.do_subscribe(word, expected);
+}
+
+void SoftHtm::ThreadContext::begin() {
+  assert(!active_ && "SoftHtm transactions do not nest");
+  active_ = true;
+  reads_.clear();
+  writes_.clear();
+  subs_.clear();
+  read_version_ = tm_.clock_.load(std::memory_order_acquire);
+}
+
+void SoftHtm::ThreadContext::rollback() noexcept {
+  active_ = false;
+  reads_.clear();
+  writes_.clear();
+  subs_.clear();
+}
+
+void SoftHtm::ThreadContext::abort_with(AbortStatus status) {
+  throw TxAbortException{status};
+}
+
+void SoftHtm::ThreadContext::check_subscriptions() {
+  for (const Subscription& s : subs_) {
+    if (s.word->load(std::memory_order_acquire) != s.expected) {
+      abort_with(AbortStatus::conflict());
+    }
+  }
+}
+
+std::uint64_t SoftHtm::ThreadContext::do_read(const TmWord& w) {
+  assert(active_);
+  // Read-own-writes: the write buffer wins over memory.
+  for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
+    if (it->addr == &w) return it->value;
+  }
+  std::atomic<std::uint64_t>& stripe = tm_.stripe_of(&w);
+  // TL2 post-validated read: sample the stripe version, read the word,
+  // re-check the stripe. Any concurrent commit to this stripe is caught.
+  const std::uint64_t v_before = stripe.load(std::memory_order_acquire);
+  if ((v_before & kLockedBit) != 0 || v_before > (read_version_ << 1)) {
+    abort_with(AbortStatus::conflict());
+  }
+  const std::uint64_t value = w.load(std::memory_order_acquire);
+  const std::uint64_t v_after = stripe.load(std::memory_order_acquire);
+  if (v_after != v_before) {
+    abort_with(AbortStatus::conflict());
+  }
+  check_subscriptions();
+  reads_.push_back(ReadEntry{&stripe});
+  if (enforce_capacity_ && reads_.size() > tm_.cfg_.max_read_set) {
+    abort_with(AbortStatus::capacity());
+  }
+  return value;
+}
+
+void SoftHtm::ThreadContext::do_write(TmWord& w, std::uint64_t value) {
+  assert(active_);
+  for (auto& e : writes_) {
+    if (e.addr == &w) {
+      e.value = value;
+      return;
+    }
+  }
+  writes_.push_back(WriteEntry{&w, value, &tm_.stripe_of(&w)});
+  if (enforce_capacity_ && writes_.size() > tm_.cfg_.max_write_set) {
+    abort_with(AbortStatus::capacity());
+  }
+}
+
+void SoftHtm::ThreadContext::do_subscribe(const std::atomic<std::uint64_t>& word,
+                                          std::uint64_t expected) {
+  assert(active_);
+  if (word.load(std::memory_order_acquire) != expected) {
+    abort_with(AbortStatus::conflict());
+  }
+  subs_.push_back(Subscription{&word, expected});
+}
+
+AbortStatus SoftHtm::ThreadContext::commit() {
+  assert(active_);
+  if (writes_.empty()) {
+    // Read-only transactions were validated on every read; nothing to publish.
+    check_subscriptions();
+    rollback();
+    return AbortStatus(kXBeginStarted);
+  }
+
+  // Acquire stripe locks in canonical (address) order; never block — a busy
+  // stripe means a concurrent committer, which an HTM would report as a
+  // conflict abort.
+  std::vector<WriteEntry*> order;
+  order.reserve(writes_.size());
+  for (auto& e : writes_) order.push_back(&e);
+  std::sort(order.begin(), order.end(), [](const WriteEntry* a, const WriteEntry* b) {
+    return a->stripe < b->stripe;
+  });
+
+  // NOTE: every abort below this point must release the stripes acquired so
+  // far — a leaked stripe lock poisons that stripe forever (all later
+  // transactions touching it abort with CONFLICT unconditionally).
+  std::size_t locked = 0;
+  auto release_locked = [&]() noexcept {
+    for (std::size_t i = 0; i < locked; ++i) {
+      std::atomic<std::uint64_t>* s = order[i]->stripe;
+      if (i > 0 && order[i - 1]->stripe == s) continue;  // dedup same stripe
+      s->fetch_and(~kLockedBit, std::memory_order_release);
+    }
+  };
+
+  try {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      std::atomic<std::uint64_t>* s = order[i]->stripe;
+      if (i > 0 && order[i - 1]->stripe == s) {
+        ++locked;  // already own this stripe
+        continue;
+      }
+      std::uint64_t cur = s->load(std::memory_order_acquire);
+      if ((cur & kLockedBit) != 0 || cur > (read_version_ << 1) ||
+          !s->compare_exchange_strong(cur, cur | kLockedBit, std::memory_order_acq_rel)) {
+        release_locked();
+        abort_with(AbortStatus::conflict());
+      }
+      ++locked;
+    }
+
+    // Validate the read set against the read version (stripes we own pass
+    // by construction: we checked their version before locking).
+    for (const ReadEntry& r : reads_) {
+      const std::uint64_t v = r.stripe->load(std::memory_order_acquire);
+      if ((v & kLockedBit) != 0) {
+        const bool own = std::any_of(order.begin(), order.end(), [&](const WriteEntry* e) {
+          return e->stripe == r.stripe;
+        });
+        if (!own) {
+          release_locked();
+          abort_with(AbortStatus::conflict());
+        }
+      } else if (v > (read_version_ << 1)) {
+        release_locked();
+        abort_with(AbortStatus::conflict());
+      }
+    }
+    for (const Subscription& sub : subs_) {
+      if (sub.word->load(std::memory_order_acquire) != sub.expected) {
+        release_locked();
+        abort_with(AbortStatus::conflict());
+      }
+    }
+  } catch (const TxAbortException&) {
+    rollback();
+    throw;
+  }
+
+  // Publish: bump the clock, write back, release stripes at the new version.
+  const std::uint64_t wv = tm_.clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  for (const WriteEntry& e : writes_) {
+    e.addr->store(e.value, std::memory_order_release);
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    std::atomic<std::uint64_t>* s = order[i]->stripe;
+    if (i > 0 && order[i - 1]->stripe == s) continue;
+    s->store(wv << 1, std::memory_order_release);
+  }
+  rollback();
+  return AbortStatus(kXBeginStarted);
+}
+
+}  // namespace seer::htm

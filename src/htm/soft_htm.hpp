@@ -1,0 +1,190 @@
+// SoftHtm — a software implementation of a best-effort hardware TM.
+//
+// Purpose: the paper evaluates on Intel TSX silicon, which is deprecated and
+// absent from this machine. SoftHtm gives real multi-threaded programs the
+// exact *interface and failure model* of a best-effort HTM: optimistic
+// transactions, word-granularity conflict detection, bounded capacity,
+// explicit aborts, and a coarse TSX-style abort status. The Seer scheduler
+// and all baseline policies run unmodified on top of it.
+//
+// Design: TL2-style word-based STM.
+//   * A global version clock and a striped table of versioned write-locks.
+//   * Reads validate their stripe (unlocked, version <= read-version) on
+//     every access, so transactions only ever observe consistent snapshots
+//     (opacity), mirroring how an HTM aborts eagerly on remote invalidation.
+//   * Writes are buffered (lazy versioning) and published at commit after
+//     acquiring stripe locks in canonical order (no deadlock, no blocking:
+//     a busy stripe aborts the transaction with a CONFLICT status).
+//   * Read/write-set sizes are capped to model hardware capacity; exceeding
+//     a cap aborts with a CAPACITY status, exactly like L1d overflow in TSX.
+//   * Non-transactional writers (the SGL fallback path) are handled by
+//     subscriptions: the runtime subscribes to the fallback lock word and
+//     the transaction aborts if it changes (the software analogue of the
+//     lock sitting in the transaction's read set).
+//
+// TM-managed memory is arrays of seer::htm::TmWord (relaxed atomics) so that
+// concurrent commit write-back never races with speculative reads in the
+// C++-memory-model sense.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "htm/abort_code.hpp"
+#include "util/cacheline.hpp"
+
+namespace seer::htm {
+
+// A transactionally managed machine word.
+using TmWord = std::atomic<std::uint64_t>;
+
+// Thrown by transactional accesses when the transaction must roll back; the
+// driver (SoftHtm::ThreadContext::attempt) catches it — user code must let
+// it propagate, the same way a hardware abort jumps back to xbegin.
+struct TxAbortException {
+  AbortStatus status;
+};
+
+class SoftHtm {
+ public:
+  struct Config {
+    // Capacity model. Haswell TSX tracks reads in L1d+L2-victim structures
+    // (large) and writes strictly in L1d (small); we default to word counts
+    // of comparable magnitude scaled down for test speed.
+    std::size_t max_read_set = 4096;
+    std::size_t max_write_set = 512;
+    // Number of versioned-lock stripes (power of two).
+    std::size_t stripes = 1u << 16;
+  };
+
+  SoftHtm() : SoftHtm(Config{}) {}
+  explicit SoftHtm(Config cfg);
+  SoftHtm(const SoftHtm&) = delete;
+  SoftHtm& operator=(const SoftHtm&) = delete;
+
+  class ThreadContext;
+
+  // Handle passed to the transaction body for transactional accesses.
+  class Tx {
+   public:
+    [[nodiscard]] std::uint64_t read(const TmWord& w);
+    void write(TmWord& w, std::uint64_t value);
+
+    // Abort programmatically with an 8-bit code (TSX xabort).
+    [[noreturn]] void abort(std::uint8_t code);
+
+    // Subscribe to a non-transactional word: the commit (and every later
+    // access) fails with CONFLICT if the word no longer equals `expected`.
+    void subscribe(const std::atomic<std::uint64_t>& word, std::uint64_t expected);
+
+   private:
+    friend class ThreadContext;
+    explicit Tx(ThreadContext& ctx) : ctx_(ctx) {}
+    ThreadContext& ctx_;
+  };
+
+  // Per-thread transaction machinery. Create one per thread; not shareable.
+  class ThreadContext {
+   public:
+    explicit ThreadContext(SoftHtm& tm) : tm_(tm) {}
+    ThreadContext(const ThreadContext&) = delete;
+    ThreadContext& operator=(const ThreadContext&) = delete;
+
+    // Runs `body(Tx&)` as one optimistic transaction attempt.
+    // Returns kXBeginStarted's AbortStatus-equivalent on success
+    // (status.raw() == kXBeginStarted) or the abort status.
+    template <typename Body>
+    AbortStatus attempt(Body&& body) {
+      begin();
+      try {
+        Tx tx(*this);
+        body(tx);
+        return commit();
+      } catch (const TxAbortException& e) {
+        rollback();
+        return e.status;
+      }
+    }
+
+    // Like attempt(), but exempt from the modelled hardware-capacity caps.
+    // Used by pessimistic fallback paths, which must execute arbitrary
+    // bodies but still need stripe coordination so their updates are atomic
+    // with respect to concurrently committing speculative transactions
+    // (a raw non-transactional write could interleave with a commit's
+    // write-back and lose updates).
+    template <typename Body>
+    AbortStatus attempt_unbounded(Body&& body) {
+      enforce_capacity_ = false;
+      const AbortStatus s = attempt(std::forward<Body>(body));
+      enforce_capacity_ = true;
+      return s;
+    }
+
+    // True while a speculative attempt is executing (xtest analogue).
+    [[nodiscard]] bool in_tx() const noexcept { return active_; }
+
+    // Introspection for tests.
+    [[nodiscard]] std::size_t read_set_size() const noexcept { return reads_.size(); }
+    [[nodiscard]] std::size_t write_set_size() const noexcept { return writes_.size(); }
+
+   private:
+    friend class Tx;
+
+    struct ReadEntry {
+      const std::atomic<std::uint64_t>* stripe;
+    };
+    struct WriteEntry {
+      TmWord* addr;
+      std::uint64_t value;
+      std::atomic<std::uint64_t>* stripe;
+    };
+    struct Subscription {
+      const std::atomic<std::uint64_t>* word;
+      std::uint64_t expected;
+    };
+
+    void begin();
+    AbortStatus commit();
+    void rollback() noexcept;
+
+    std::uint64_t do_read(const TmWord& w);
+    void do_write(TmWord& w, std::uint64_t value);
+    void do_subscribe(const std::atomic<std::uint64_t>& word, std::uint64_t expected);
+    [[noreturn]] void abort_with(AbortStatus status);
+    void check_subscriptions();
+
+    SoftHtm& tm_;
+    bool active_ = false;
+    bool enforce_capacity_ = true;
+    std::uint64_t read_version_ = 0;
+    std::vector<ReadEntry> reads_;
+    std::vector<WriteEntry> writes_;
+    std::vector<Subscription> subs_;
+  };
+
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+ private:
+  friend class ThreadContext;
+
+  // Versioned lock encoding: bit 0 = locked; bits 63..1 = version.
+  static constexpr std::uint64_t kLockedBit = 1ULL;
+
+  [[nodiscard]] std::atomic<std::uint64_t>& stripe_of(const void* addr) noexcept {
+    // Mix the address; words 8 bytes apart land in different stripes.
+    auto h = reinterpret_cast<std::uintptr_t>(addr) >> 3;
+    h ^= h >> 17;
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    return stripes_[h & stripe_mask_].value;
+  }
+
+  Config cfg_;
+  std::size_t stripe_mask_;
+  std::unique_ptr<util::Padded<std::atomic<std::uint64_t>>[]> stripes_;
+  alignas(util::kCacheLineBytes) std::atomic<std::uint64_t> clock_{0};
+};
+
+}  // namespace seer::htm

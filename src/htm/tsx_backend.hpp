@@ -1,0 +1,46 @@
+// Real Intel TSX (RTM) backend.
+//
+// This is the backend the paper actually evaluates on. It is a thin wrapper
+// over the RTM intrinsics producing the same AbortStatus model as SoftHtm,
+// so the scheduler stack runs unchanged on TSX silicon. It is compiled only
+// when the build enables SEER_ENABLE_TSX (requires -mrtm); TSX has been
+// deprecated/fused off on most shipping parts, so the default build uses
+// SoftHtm and the machine simulator instead (see DESIGN.md §1).
+#pragma once
+
+#if defined(SEER_ENABLE_TSX)
+
+#include <immintrin.h>
+
+#include "htm/abort_code.hpp"
+
+namespace seer::htm {
+
+class TsxBackend {
+ public:
+  // Runs `body()` once speculatively. Inside the body, memory accesses are
+  // plain loads/stores — the hardware tracks them. Returns started-status on
+  // commit, or the hardware abort status.
+  template <typename Body>
+  static AbortStatus attempt(Body&& body) {
+    const unsigned status = _xbegin();
+    if (status == _XBEGIN_STARTED) {
+      body();
+      _xend();
+      return AbortStatus(kXBeginStarted);
+    }
+    return AbortStatus(status);
+  }
+
+  [[nodiscard]] static bool in_tx() noexcept { return _xtest() != 0; }
+
+  template <std::uint8_t Code>
+  [[noreturn]] static void abort() {
+    _xabort(Code);
+    __builtin_unreachable();
+  }
+};
+
+}  // namespace seer::htm
+
+#endif  // SEER_ENABLE_TSX

@@ -1,0 +1,46 @@
+// Symbolic lock identifiers.
+//
+// Policies are pure decision logic shared between the real-threads driver
+// and the machine simulator, so they cannot hold pointers to concrete lock
+// objects. Instead they name locks symbolically and each driver reifies the
+// names (WordLock for threads, SimLock for the simulator).
+//
+// Canonical acquisition order (kind, then index) is a total order used by
+// every multi-lock acquisition in the system, which rules out deadlock
+// between acquirers: aux < sched < core < tx, and the SGL is never co-held
+// with anything (Seer releases all of its locks before falling back,
+// Alg. 1 line 19).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace seer::rt {
+
+enum class LockKind : std::uint8_t {
+  kSgl = 0,    // single global lock — the pessimistic fallback
+  kAux = 1,    // SCM's auxiliary serialization lock
+  kSched = 2,  // ATS's serialization lock
+  kCore = 3,   // Seer: one per physical core (capacity aborts)
+  kTx = 4,     // Seer: one per transaction type (conflict serialization)
+};
+
+struct LockId {
+  LockKind kind{};
+  std::uint16_t index = 0;
+
+  friend constexpr auto operator<=>(const LockId&, const LockId&) = default;
+};
+
+inline constexpr LockId kSglLock{LockKind::kSgl, 0};
+inline constexpr LockId kAuxLock{LockKind::kAux, 0};
+inline constexpr LockId kSchedLock{LockKind::kSched, 0};
+
+[[nodiscard]] constexpr LockId core_lock(std::uint16_t physical_core) noexcept {
+  return LockId{LockKind::kCore, physical_core};
+}
+[[nodiscard]] constexpr LockId tx_lock(std::uint16_t tx_type) noexcept {
+  return LockId{LockKind::kTx, tx_type};
+}
+
+}  // namespace seer::rt

@@ -1,0 +1,57 @@
+// The workload interface the machine simulator executes.
+//
+// A workload hands the simulator, per transaction instance, the transaction
+// type (static atomic block), its serial duration in cycles, and the cache
+// lines it reads and writes. Footprints are sampled ONCE per instance and
+// reused across retries — a restarted transaction re-executes on the same
+// inputs, which is precisely why per-type conflict structure is learnable
+// (and why Seer's inference works on the real benchmarks).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/rng.hpp"
+
+namespace seer::sim {
+
+struct TxInstance {
+  core::TxTypeId type = 0;
+  std::uint64_t duration = 0;        // cycles of useful serial work
+  std::vector<std::uint32_t> reads;  // global cache-line ids, sorted, unique
+  std::vector<std::uint32_t> writes; // ditto; may overlap reads
+
+  [[nodiscard]] std::size_t footprint_lines() const noexcept;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+  [[nodiscard]] virtual std::size_t n_types() const = 0;
+  [[nodiscard]] virtual const std::string& type_name(core::TxTypeId t) const = 0;
+
+  // Samples the next transaction instance for `thread`. `progress` is the
+  // thread's completed fraction of its run in [0, 1] (drives phase mixes).
+  virtual void next(core::ThreadId thread, double progress, util::Xoshiro256& rng,
+                    TxInstance& out) = 0;
+
+  // Think time (cycles) between transactions.
+  [[nodiscard]] virtual std::uint64_t think_time(util::Xoshiro256& rng) = 0;
+};
+
+// True when `a.writes` intersects `b.reads ∪ b.writes` — a's speculative
+// writes invalidate b. Inputs must be sorted.
+[[nodiscard]] bool write_conflicts(const TxInstance& a, const TxInstance& b) noexcept;
+
+// Symmetric transactional conflict: either side's writes intersect the
+// other's footprint.
+[[nodiscard]] inline bool instances_conflict(const TxInstance& a,
+                                             const TxInstance& b) noexcept {
+  return write_conflicts(a, b) || write_conflicts(b, a);
+}
+
+}  // namespace seer::sim

@@ -1,0 +1,114 @@
+#include "stamp/spec.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace seer::stamp {
+
+SpecWorkload::SpecWorkload(WorkloadSpec spec, std::size_t n_threads)
+    : spec_(std::move(spec)), n_threads_(n_threads) {
+  assert(!spec_.types.empty());
+  assert(!spec_.regions.empty());
+  if (spec_.phases.empty()) {
+    // Default: one phase, uniform mix.
+    Phase p;
+    p.fraction = 1.0;
+    p.mix.assign(spec_.types.size(), 1.0);
+    spec_.phases.push_back(std::move(p));
+  }
+  for (const Phase& p : spec_.phases) {
+    assert(p.mix.size() == spec_.types.size());
+    (void)p;
+  }
+
+  // Lay regions out in one global line-id space; per-thread regions get one
+  // disjoint slice per thread.
+  region_base_.reserve(spec_.regions.size());
+  std::uint64_t base = 0;
+  for (const Region& r : spec_.regions) {
+    region_base_.push_back(base);
+    base += static_cast<std::uint64_t>(r.lines) * (r.per_thread ? n_threads_ : 1);
+  }
+
+  zipf_.resize(spec_.regions.size());
+  for (std::size_t i = 0; i < spec_.regions.size(); ++i) {
+    const Region& r = spec_.regions[i];
+    if (r.zipf_skew > 0.0 && r.lines > 1) {
+      zipf_[i] = std::make_unique<util::Zipf>(r.lines, r.zipf_skew);
+    }
+  }
+}
+
+const Phase& SpecWorkload::phase_at(double progress) const noexcept {
+  double acc = 0.0;
+  for (const Phase& p : spec_.phases) {
+    acc += p.fraction;
+    if (progress < acc) return p;
+  }
+  return spec_.phases.back();
+}
+
+std::uint32_t SpecWorkload::sample_line(std::uint16_t region, core::ThreadId thread,
+                                        util::Xoshiro256& rng) const {
+  const Region& r = spec_.regions[region];
+  const std::uint64_t within =
+      zipf_[region] ? zipf_[region]->sample(rng) : rng.below(r.lines);
+  const std::uint64_t slice =
+      r.per_thread ? static_cast<std::uint64_t>(thread) * r.lines : 0;
+  return static_cast<std::uint32_t>(region_base_[region] + slice + within);
+}
+
+void SpecWorkload::next(core::ThreadId thread, double progress, util::Xoshiro256& rng,
+                        sim::TxInstance& out) {
+  const Phase& phase = phase_at(progress);
+
+  // Pick the transaction type from the phase mix.
+  double total = 0.0;
+  for (double w : phase.mix) total += w;
+  double pick = rng.uniform01() * total;
+  std::size_t type = 0;
+  for (; type + 1 < phase.mix.size(); ++type) {
+    pick -= phase.mix[type];
+    if (pick < 0.0) break;
+  }
+  const TxTypeSpec& ts = spec_.types[type];
+
+  out.type = static_cast<core::TxTypeId>(type);
+
+  // Duration: uniform jitter around the mean.
+  const double lo = 1.0 - ts.duration_jitter;
+  const double span = 2.0 * ts.duration_jitter;
+  out.duration = static_cast<std::uint64_t>(
+      static_cast<double>(ts.duration_mean) * (lo + span * rng.uniform01()));
+  if (out.duration == 0) out.duration = 1;
+
+  // Footprint: sample concrete lines per region access. Reads and writes
+  // are kept sorted/unique as the conflict detector requires.
+  out.reads.clear();
+  out.writes.clear();
+  for (const RegionAccess& a : ts.accesses) {
+    for (std::uint16_t i = 0; i < a.reads; ++i) {
+      out.reads.push_back(sample_line(a.region, thread, rng));
+    }
+    for (std::uint16_t i = 0; i < a.writes; ++i) {
+      out.writes.push_back(sample_line(a.region, thread, rng));
+    }
+  }
+  auto canonicalize = [](std::vector<std::uint32_t>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  canonicalize(out.reads);
+  canonicalize(out.writes);
+}
+
+std::uint64_t SpecWorkload::think_time(util::Xoshiro256& rng) {
+  if (spec_.think_mean == 0) return 0;
+  // Exponentially distributed inter-transaction gap.
+  const double u = std::max(rng.uniform01(), 1e-12);
+  return static_cast<std::uint64_t>(-static_cast<double>(spec_.think_mean) *
+                                    std::log(u));
+}
+
+}  // namespace seer::stamp

@@ -1,0 +1,95 @@
+// Declarative workload specifications.
+//
+// Each STAMP stand-in (DESIGN.md §1) is described as data: shared memory
+// regions (hash tables, queues, reservation tables, meshes...), transaction
+// types with durations and per-region access counts, and phases with type
+// mixes. SpecWorkload turns a spec into the sim::Workload the machine
+// executes, sampling concrete cache-line footprints per transaction
+// instance.
+//
+// Why this models the real benchmarks faithfully *for scheduling purposes*:
+// conflicts in the simulator arise from genuine set intersection over the
+// sampled lines, so the per-type-pair conflict probabilities — the structure
+// Seer's inference discovers — emerge from data-structure geometry (how hot
+// a region is, how many lines a transaction touches there) exactly as they
+// do in the originals.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/workload.hpp"
+#include "util/small_vec.hpp"
+#include "util/zipf.hpp"
+
+namespace seer::stamp {
+
+struct Region {
+  std::string name;
+  std::uint32_t lines = 1;  // size in cache lines
+  double zipf_skew = 0.0;   // 0 = uniform access; higher = hotter head
+  // Per-thread regions model thread-private data (e.g. a kmeans worker's
+  // input slice): each thread addresses a disjoint copy, so accesses there
+  // never conflict across threads (but still occupy capacity).
+  bool per_thread = false;
+};
+
+struct RegionAccess {
+  std::uint16_t region = 0;  // index into WorkloadSpec::regions
+  std::uint16_t reads = 0;   // lines read from the region
+  std::uint16_t writes = 0;  // lines written in the region
+};
+
+struct TxTypeSpec {
+  std::string name;
+  std::uint64_t duration_mean = 1000;  // cycles of serial work
+  double duration_jitter = 0.3;        // uniform +- fraction of the mean
+  util::SmallVec<RegionAccess, 6> accesses;
+};
+
+struct Phase {
+  double fraction = 1.0;        // share of a thread's run spent here
+  std::vector<double> mix;      // relative weight per transaction type
+};
+
+struct WorkloadSpec {
+  std::string name;
+  std::vector<Region> regions;
+  std::vector<TxTypeSpec> types;
+  std::vector<Phase> phases;        // must cover fractions summing to ~1
+  std::uint64_t think_mean = 300;   // exponential inter-transaction gap
+};
+
+// Turns a spec into an executable workload. One instance per simulated run
+// (it is stateless apart from precomputed tables, so reuse is also fine).
+class SpecWorkload final : public sim::Workload {
+ public:
+  explicit SpecWorkload(WorkloadSpec spec, std::size_t n_threads);
+
+  [[nodiscard]] const std::string& name() const override { return spec_.name; }
+  [[nodiscard]] std::size_t n_types() const override { return spec_.types.size(); }
+  [[nodiscard]] const std::string& type_name(core::TxTypeId t) const override {
+    return spec_.types[static_cast<std::size_t>(t)].name;
+  }
+
+  void next(core::ThreadId thread, double progress, util::Xoshiro256& rng,
+            sim::TxInstance& out) override;
+
+  [[nodiscard]] std::uint64_t think_time(util::Xoshiro256& rng) override;
+
+  [[nodiscard]] const WorkloadSpec& spec() const noexcept { return spec_; }
+
+ private:
+  [[nodiscard]] const Phase& phase_at(double progress) const noexcept;
+  [[nodiscard]] std::uint32_t sample_line(std::uint16_t region, core::ThreadId thread,
+                                          util::Xoshiro256& rng) const;
+
+  WorkloadSpec spec_;
+  std::size_t n_threads_;
+  std::vector<std::uint64_t> region_base_;           // global line-id offsets
+  std::vector<std::unique_ptr<util::Zipf>> zipf_;    // per skewed region
+};
+
+}  // namespace seer::stamp

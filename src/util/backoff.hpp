@@ -1,0 +1,39 @@
+// Spin-then-yield backoff.
+//
+// Busy-wait loops in the runtime (lock acquisition, lemming-avoidance waits,
+// fallback retries) first spin with `pause`, then start yielding the CPU.
+// Pure pause-spinning is correct on a dedicated many-core box but livelocks
+// practically on oversubscribed or single-core hosts, where the thread being
+// waited for cannot run until the waiter burns its scheduling quantum.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "util/spinlock.hpp"
+
+namespace seer::util {
+
+class Backoff {
+ public:
+  // `spin_limit`: pause-iterations before yielding begins.
+  explicit Backoff(std::uint32_t spin_limit = 128) noexcept
+      : spin_limit_(spin_limit) {}
+
+  void pause() noexcept {
+    if (spins_ < spin_limit_) {
+      ++spins_;
+      SpinLock::cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { spins_ = 0; }
+
+ private:
+  std::uint32_t spin_limit_;
+  std::uint32_t spins_ = 0;
+};
+
+}  // namespace seer::util

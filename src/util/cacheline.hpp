@@ -1,0 +1,36 @@
+// Cache-line geometry helpers.
+//
+// Shared mutable state in this project is either strictly per-thread
+// (the per-core statistics matrices of Seer, Table 2 of the paper) or
+// single-writer multi-reader (the active-transactions table). Both rely on
+// cache-line padding to avoid false sharing between hardware threads.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace seer::util {
+
+// std::hardware_destructive_interference_size is not universally available;
+// 64 bytes is correct for every x86 part the paper targets.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+// Wraps a value and pads it to a cache-line multiple so that adjacent
+// array elements never share a line.
+template <typename T>
+struct alignas(kCacheLineBytes) Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(const T& v) : value(v) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+static_assert(alignof(Padded<char>) == kCacheLineBytes);
+static_assert(sizeof(Padded<char>) % kCacheLineBytes == 0);
+
+}  // namespace seer::util

@@ -1,0 +1,67 @@
+#include "util/gaussian.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seer::util {
+
+double normal_cdf(double x) noexcept {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+namespace {
+
+// Acklam's coefficients for the rational approximation of the normal quantile.
+constexpr double kA[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                         -2.759285104469687e+02, 1.383577518672690e+02,
+                         -3.066479806614716e+01, 2.506628277459239e+00};
+constexpr double kB[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                         -1.556989798598866e+02, 6.680131188771972e+01,
+                         -1.328068155288572e+01};
+constexpr double kC[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                         -2.400758277161838e+00, -2.549732539343734e+00,
+                         4.374664141464968e+00, 2.938163982698783e+00};
+constexpr double kD[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                         2.445134137142996e+00, 3.754408661907416e+00};
+
+double acklam(double p) noexcept {
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((kC[0] * q + kC[1]) * q + kC[2]) * q + kC[3]) * q + kC[4]) * q + kC[5]) /
+        ((((kD[0] * q + kD[1]) * q + kD[2]) * q + kD[3]) * q + 1.0);
+  } else if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((kA[0] * r + kA[1]) * r + kA[2]) * r + kA[3]) * r + kA[4]) * r + kA[5]) * q /
+        (((((kB[0] * r + kB[1]) * r + kB[2]) * r + kB[3]) * r + kB[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((kC[0] * q + kC[1]) * q + kC[2]) * q + kC[3]) * q + kC[4]) * q + kC[5]) /
+        ((((kD[0] * q + kD[1]) * q + kD[2]) * q + kD[3]) * q + 1.0);
+  }
+  return x;
+}
+
+}  // namespace
+
+double normal_quantile(double p) noexcept {
+  // Clamp into the open interval; the inference layer passes Th2 in [0,1].
+  constexpr double kTiny = 1e-12;
+  p = std::clamp(p, kTiny, 1.0 - kTiny);
+  double x = acklam(p);
+  // One Halley refinement step using the exact CDF.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double gaussian_percentile(double mean, double variance, double p) noexcept {
+  const double sigma = std::sqrt(std::max(variance, 0.0));
+  return mean + normal_quantile(p) * sigma;
+}
+
+}  // namespace seer::util

@@ -1,0 +1,23 @@
+// Standard normal distribution helpers.
+//
+// Alg. 5 line 72 of the paper keeps a pair (x, y) only if
+// P(x aborts | x || y) exceeds the Th2-th percentile of a Gaussian
+// N(eta, sigma^2) fitted to the observed probability set. That percentile is
+// eta + z(Th2) * sigma where z is the standard normal quantile function.
+#pragma once
+
+namespace seer::util {
+
+// Standard normal CDF, Phi(x).
+[[nodiscard]] double normal_cdf(double x) noexcept;
+
+// Standard normal quantile (inverse CDF), z(p) for p in (0, 1).
+// Peter Acklam's rational approximation (relative error < 1.15e-9),
+// refined with one Halley step. p outside (0,1) is clamped to the
+// representable tail.
+[[nodiscard]] double normal_quantile(double p) noexcept;
+
+// The Th2-th percentile of N(mean, variance): mean + z(p) * sqrt(variance).
+[[nodiscard]] double gaussian_percentile(double mean, double variance, double p) noexcept;
+
+}  // namespace seer::util

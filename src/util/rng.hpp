@@ -1,0 +1,95 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in the simulator and the workload generators draws from these
+// generators so that a (seed, configuration) pair fully determines a run.
+// We use SplitMix64 for seeding and xoshiro256** as the workhorse generator:
+// both are tiny, fast, allocation-free, and well studied.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace seer::util {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state.
+// (Vigna, 2015 — public domain reference implementation.)
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: main generator. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x5eed5eed5eedULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept { return next(); }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Unbiased integer in [0, bound) via Lemire's multiply-shift rejection.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    while (true) {
+      const std::uint64_t x = next();
+      const auto m = static_cast<unsigned __int128>(x) * bound;
+      const auto lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= (0 - bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  // Integer in the inclusive range [lo, hi].
+  constexpr std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  constexpr double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  constexpr bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  // Derive an independent child generator (for per-thread streams).
+  constexpr Xoshiro256 split() noexcept { return Xoshiro256(next() ^ 0xa02be1badb0d5eedULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace seer::util

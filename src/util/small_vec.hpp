@@ -1,0 +1,85 @@
+// Fixed-capacity inline vector.
+//
+// Lock directives and per-transaction lock rows are tiny (bounded by the
+// number of atomic blocks in the program) and live on hot paths; SmallVec
+// keeps them allocation-free and trivially copyable when T is trivial.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+
+namespace seer::util {
+
+template <typename T, std::size_t Cap>
+class SmallVec {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  constexpr SmallVec() = default;
+  constexpr SmallVec(std::initializer_list<T> init) {
+    assert(init.size() <= Cap);
+    for (const T& v : init) push_back(v);
+  }
+
+  static constexpr std::size_t capacity() noexcept { return Cap; }
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] constexpr bool full() const noexcept { return size_ == Cap; }
+
+  constexpr void push_back(const T& v) {
+    assert(size_ < Cap && "SmallVec overflow");
+    data_[size_++] = v;
+  }
+
+  // push_back that drops the element when full (used where best-effort
+  // tracking is acceptable); returns whether the element was stored.
+  constexpr bool try_push_back(const T& v) {
+    if (size_ >= Cap) return false;
+    data_[size_++] = v;
+    return true;
+  }
+
+  constexpr void pop_back() {
+    assert(size_ > 0);
+    --size_;
+  }
+
+  constexpr void clear() noexcept { size_ = 0; }
+
+  constexpr T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  constexpr const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  constexpr T& back() {
+    assert(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+  constexpr iterator begin() noexcept { return data_; }
+  constexpr iterator end() noexcept { return data_ + size_; }
+  constexpr const_iterator begin() const noexcept { return data_; }
+  constexpr const_iterator end() const noexcept { return data_ + size_; }
+
+  [[nodiscard]] constexpr bool contains(const T& v) const {
+    return std::find(begin(), end(), v) != end();
+  }
+
+  constexpr friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  T data_[Cap]{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace seer::util

@@ -1,0 +1,74 @@
+// Test-and-test-and-set spinlock.
+//
+// This is the lock flavor Seer's runtime uses for the single-global-lock
+// fallback, the per-transaction locks and the per-core locks in the
+// real-threads driver (the simulator reifies locks as queued SimLocks
+// instead). TTAS keeps the contended path read-only until the lock is seen
+// free, which matters because waiting threads sit inside hardware
+// transactions' read sets in the lemming-avoidance path.
+#pragma once
+
+#include <atomic>
+
+#include "util/cacheline.hpp"
+
+namespace seer::util {
+
+class alignas(kCacheLineBytes) SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() noexcept {
+    while (!try_lock()) {
+      while (locked_.load(std::memory_order_relaxed)) cpu_relax();
+    }
+  }
+
+  [[nodiscard]] bool try_lock() noexcept {
+    return !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+  // Non-mutating probe — the paper's is-locked(sgl) (Alg. 1 line 11).
+  [[nodiscard]] bool is_locked() const noexcept {
+    return locked_.load(std::memory_order_acquire);
+  }
+
+  // Address of the raw flag, for HTM read-set subscription.
+  [[nodiscard]] const std::atomic<bool>* flag() const noexcept { return &locked_; }
+
+  static void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+  }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+// RAII guard (std::lock_guard works too; this one allows early release).
+class SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock& l) noexcept : lock_(&l) { lock_->lock(); }
+  ~SpinGuard() { release(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+  void release() noexcept {
+    if (lock_ != nullptr) {
+      lock_->unlock();
+      lock_ = nullptr;
+    }
+  }
+
+ private:
+  SpinLock* lock_;
+};
+
+}  // namespace seer::util

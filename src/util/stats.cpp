@@ -1,0 +1,39 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seer::util {
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void GeoMean::add(double x) noexcept {
+  if (x <= 0.0) return;  // geometric mean is defined over positive values
+  ++n_;
+  log_sum_ += std::log(x);
+}
+
+double GeoMean::value() const noexcept {
+  return n_ > 0 ? std::exp(log_sum_ / static_cast<double>(n_)) : 0.0;
+}
+
+double PercentileSketch::percentile(double q) const {
+  if (xs_.empty()) return 0.0;
+  std::vector<double> sorted(xs_);
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double PercentileSketch::mean() const noexcept {
+  if (xs_.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs_) acc += x;
+  return acc / static_cast<double>(xs_.size());
+}
+
+}  // namespace seer::util

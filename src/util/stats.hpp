@@ -1,0 +1,70 @@
+// Streaming statistics helpers.
+//
+// The lock-scheme inference of Alg. 5 needs the mean and variance of the
+// per-pair conditional abort probabilities; the benchmark harness needs
+// geometric means across workloads (Figure 3i) and percentile summaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace seer::util {
+
+// Welford's online algorithm: numerically stable single-pass mean/variance.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  // Population variance (the paper's N(eta, sigma^2) is fit to the observed
+  // set of probabilities, so the population — not sample — variance applies).
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  [[nodiscard]] double sample_variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Geometric mean accumulator (log-domain to avoid overflow/underflow).
+class GeoMean {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double value() const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double log_sum_ = 0.0;
+};
+
+// Exact percentile over a stored sample (linear interpolation between ranks).
+// Used by the bench harness to summarize the 20-run distributions.
+class PercentileSketch {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  [[nodiscard]] std::size_t count() const noexcept { return xs_.size(); }
+  // q in [0, 1]; q=0.5 is the median. Returns 0 for an empty sketch.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double mean() const noexcept;
+
+ private:
+  std::vector<double> xs_;
+};
+
+}  // namespace seer::util

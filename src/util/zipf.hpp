@@ -1,0 +1,65 @@
+// Zipf-distributed sampling over a finite universe [0, n).
+//
+// The STAMP stand-in workloads use Zipfian access skew to model hot data
+// (e.g. popular customers in vacation, frequent flows in intruder). For the
+// universe sizes involved (up to a few hundred thousand lines) a precomputed
+// inverse-CDF table is both exact and fast to sample from.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace seer::util {
+
+class Zipf {
+ public:
+  // `n` — universe size; `s` — skew exponent (0 = uniform; 0.99 ~ YCSB-hot).
+  Zipf(std::uint64_t n, double s) : n_(n), s_(s) {
+    cdf_.reserve(static_cast<std::size_t>(n));
+    double acc = 0.0;
+    for (std::uint64_t k = 1; k <= n; ++k) {
+      acc += 1.0 / std::pow(static_cast<double>(k), s);
+      cdf_.push_back(acc);
+    }
+    const double total = acc;
+    for (auto& c : cdf_) c /= total;
+  }
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] double skew() const noexcept { return s_; }
+
+  // Samples a rank in [0, n); rank 0 is the hottest element.
+  [[nodiscard]] std::uint64_t sample(Xoshiro256& rng) const noexcept {
+    const double u = rng.uniform01();
+    // Binary search for the first CDF entry >= u.
+    std::size_t lo = 0;
+    std::size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<std::uint64_t>(lo);
+  }
+
+  // Probability mass of rank k (diagnostics / tests).
+  [[nodiscard]] double pmf(std::uint64_t k) const noexcept {
+    if (k >= n_) return 0.0;
+    const double hi = cdf_[static_cast<std::size_t>(k)];
+    const double lo = (k == 0) ? 0.0 : cdf_[static_cast<std::size_t>(k) - 1];
+    return hi - lo;
+  }
+
+ private:
+  std::uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace seer::util

@@ -1,0 +1,358 @@
+// Tests for the SoftHtm software implementation of a best-effort HTM:
+// TSX-compatible status model, transactional semantics (atomicity, isolation,
+// opacity), capacity model, explicit aborts, subscriptions, and
+// multi-threaded correctness properties.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "htm/abort_code.hpp"
+#include "htm/soft_htm.hpp"
+#include "util/rng.hpp"
+
+namespace seer::htm {
+namespace {
+
+bool committed(AbortStatus s) { return s.raw() == kXBeginStarted; }
+
+// ---------------------------------------------------------- AbortStatus ----
+
+TEST(AbortStatus, FactoryBitsMatchTsxLayout) {
+  EXPECT_EQ(AbortStatus::conflict().raw(), kAbortConflictBit | kAbortRetryBit);
+  EXPECT_EQ(AbortStatus::conflict(false).raw(), kAbortConflictBit);
+  EXPECT_EQ(AbortStatus::capacity().raw(), kAbortCapacityBit);
+  EXPECT_EQ(AbortStatus::other().raw(), 0u);
+  const AbortStatus e = AbortStatus::explicit_abort(0xAB);
+  EXPECT_TRUE(e.is_explicit());
+  EXPECT_EQ(e.explicit_code(), 0xAB);
+}
+
+TEST(AbortStatus, CausePrecedence) {
+  EXPECT_EQ(AbortStatus::conflict().cause(), AbortCause::kConflict);
+  EXPECT_EQ(AbortStatus::capacity().cause(), AbortCause::kCapacity);
+  EXPECT_EQ(AbortStatus::explicit_abort(1).cause(), AbortCause::kExplicit);
+  EXPECT_EQ(AbortStatus::other().cause(), AbortCause::kOther);
+  // Capacity wins over conflict when both bits are set (deterministic cause).
+  const AbortStatus both(kAbortCapacityBit | kAbortConflictBit);
+  EXPECT_EQ(both.cause(), AbortCause::kCapacity);
+}
+
+TEST(AbortStatus, ToStringCoversAllCauses) {
+  EXPECT_EQ(to_string(AbortCause::kConflict), "conflict");
+  EXPECT_EQ(to_string(AbortCause::kCapacity), "capacity");
+  EXPECT_EQ(to_string(AbortCause::kExplicit), "explicit");
+  EXPECT_EQ(to_string(AbortCause::kOther), "other");
+}
+
+// ------------------------------------------------------ single threaded ----
+
+TEST(SoftHtm, CommitPublishesWrites) {
+  SoftHtm tm;
+  SoftHtm::ThreadContext ctx(tm);
+  TmWord w{0};
+  const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) { tx.write(w, 42); });
+  EXPECT_TRUE(committed(s));
+  EXPECT_EQ(w.load(), 42u);
+}
+
+TEST(SoftHtm, ReadYourOwnWrites) {
+  SoftHtm tm;
+  SoftHtm::ThreadContext ctx(tm);
+  TmWord w{7};
+  const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) {
+    tx.write(w, 100);
+    EXPECT_EQ(tx.read(w), 100u);
+    tx.write(w, 200);
+    EXPECT_EQ(tx.read(w), 200u);
+  });
+  EXPECT_TRUE(committed(s));
+  EXPECT_EQ(w.load(), 200u);
+}
+
+TEST(SoftHtm, ReadOnlyTransactionCommits) {
+  SoftHtm tm;
+  SoftHtm::ThreadContext ctx(tm);
+  TmWord w{9};
+  std::uint64_t seen = 0;
+  const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) { seen = tx.read(w); });
+  EXPECT_TRUE(committed(s));
+  EXPECT_EQ(seen, 9u);
+  EXPECT_FALSE(ctx.in_tx());
+}
+
+TEST(SoftHtm, ExplicitAbortRollsBack) {
+  SoftHtm tm;
+  SoftHtm::ThreadContext ctx(tm);
+  TmWord w{1};
+  const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) {
+    tx.write(w, 99);
+    tx.abort(0x5A);
+  });
+  EXPECT_FALSE(committed(s));
+  EXPECT_TRUE(s.is_explicit());
+  EXPECT_EQ(s.explicit_code(), 0x5A);
+  EXPECT_EQ(w.load(), 1u) << "aborted writes must not be visible";
+}
+
+TEST(SoftHtm, WriteCapacityAborts) {
+  SoftHtm tm(SoftHtm::Config{.max_read_set = 1024, .max_write_set = 8});
+  SoftHtm::ThreadContext ctx(tm);
+  std::vector<TmWord> words(16);
+  const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) {
+    for (auto& w : words) tx.write(w, 1);
+  });
+  EXPECT_FALSE(committed(s));
+  EXPECT_EQ(s.cause(), AbortCause::kCapacity);
+  for (auto& w : words) EXPECT_EQ(w.load(), 0u);
+}
+
+TEST(SoftHtm, ReadCapacityAborts) {
+  SoftHtm tm(SoftHtm::Config{.max_read_set = 8, .max_write_set = 8});
+  SoftHtm::ThreadContext ctx(tm);
+  std::vector<TmWord> words(16);
+  const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) {
+    std::uint64_t acc = 0;
+    for (auto& w : words) acc += tx.read(w);
+    (void)acc;
+  });
+  EXPECT_FALSE(committed(s));
+  EXPECT_EQ(s.cause(), AbortCause::kCapacity);
+}
+
+TEST(SoftHtm, RewritingSameWordUsesOneWriteSlot) {
+  SoftHtm tm(SoftHtm::Config{.max_read_set = 1024, .max_write_set = 4});
+  SoftHtm::ThreadContext ctx(tm);
+  TmWord w{0};
+  const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) {
+    for (int i = 0; i < 100; ++i) tx.write(w, static_cast<std::uint64_t>(i));
+  });
+  EXPECT_TRUE(committed(s));
+  EXPECT_EQ(w.load(), 99u);
+}
+
+TEST(SoftHtm, SubscriptionFailsAtRegistrationIfWordChanged) {
+  SoftHtm tm;
+  SoftHtm::ThreadContext ctx(tm);
+  std::atomic<std::uint64_t> lock_word{1};  // already "locked"
+  const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) {
+    tx.subscribe(lock_word, 0);
+    FAIL() << "subscribe must abort when the word differs";
+  });
+  EXPECT_FALSE(committed(s));
+  EXPECT_EQ(s.cause(), AbortCause::kConflict);
+}
+
+TEST(SoftHtm, SubscriptionFailsIfWordChangesMidTransaction) {
+  SoftHtm tm;
+  SoftHtm::ThreadContext ctx(tm);
+  std::atomic<std::uint64_t> lock_word{0};
+  TmWord data{0};
+  const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) {
+    tx.subscribe(lock_word, 0);
+    lock_word.store(1);  // a fallback path acquires the lock
+    tx.write(data, 5);   // next access revalidates subscriptions
+    (void)tx.read(data);
+  });
+  EXPECT_FALSE(committed(s));
+  EXPECT_EQ(data.load(), 0u);
+}
+
+// Conflict between two contexts, driven deterministically from one thread by
+// nesting a committing transaction inside another's body.
+TEST(SoftHtm, WriteWriteConflictDetected) {
+  SoftHtm tm;
+  SoftHtm::ThreadContext a(tm);
+  SoftHtm::ThreadContext b(tm);
+  TmWord w{0};
+  const AbortStatus s = a.attempt([&](SoftHtm::Tx& tx) {
+    (void)tx.read(w);
+    // B commits a write to the same word while A is speculating.
+    const AbortStatus sb = b.attempt([&](SoftHtm::Tx& txb) { txb.write(w, 7); });
+    ASSERT_TRUE(committed(sb));
+    tx.write(w, 9);  // A's commit must now fail validation
+  });
+  EXPECT_FALSE(committed(s));
+  EXPECT_EQ(s.cause(), AbortCause::kConflict);
+  EXPECT_EQ(w.load(), 7u) << "only B's value survives";
+}
+
+TEST(SoftHtm, OpacityReadsConsistentSnapshot) {
+  SoftHtm tm;
+  SoftHtm::ThreadContext a(tm);
+  SoftHtm::ThreadContext b(tm);
+  TmWord x{1};
+  TmWord y{1};  // invariant: x == y
+  const AbortStatus s = a.attempt([&](SoftHtm::Tx& tx) {
+    const std::uint64_t vx = tx.read(x);
+    const AbortStatus sb = b.attempt([&](SoftHtm::Tx& txb) {
+      txb.write(x, 2);
+      txb.write(y, 2);
+    });
+    ASSERT_TRUE(committed(sb));
+    // A must NOT observe the new y next to the old x: the read aborts.
+    const std::uint64_t vy = tx.read(y);
+    EXPECT_EQ(vx, vy) << "opacity violated: mixed snapshot observed";
+  });
+  EXPECT_FALSE(committed(s)) << "A read stale data and must abort";
+}
+
+TEST(SoftHtm, ReadOnlyVsWriterStillSerializable) {
+  SoftHtm tm;
+  SoftHtm::ThreadContext a(tm);
+  SoftHtm::ThreadContext b(tm);
+  TmWord x{10};
+  // A reads x, then B writes x and commits, then A commits read-only. A
+  // observed a consistent pre-B snapshot on every read, so it serializes
+  // BEFORE B and commits — no write-back, no validation needed.
+  const AbortStatus s = a.attempt([&](SoftHtm::Tx& tx) {
+    EXPECT_EQ(tx.read(x), 10u);
+    const AbortStatus sb = b.attempt([&](SoftHtm::Tx& txb) { txb.write(x, 11); });
+    ASSERT_TRUE(committed(sb));
+  });
+  EXPECT_TRUE(committed(s));
+  EXPECT_EQ(x.load(), 11u);
+}
+
+TEST(SoftHtm, AbortClearsContextState) {
+  SoftHtm tm;
+  SoftHtm::ThreadContext ctx(tm);
+  TmWord w{0};
+  (void)ctx.attempt([&](SoftHtm::Tx& tx) {
+    tx.write(w, 1);
+    tx.abort(1);
+  });
+  EXPECT_EQ(ctx.read_set_size(), 0u);
+  EXPECT_EQ(ctx.write_set_size(), 0u);
+  EXPECT_FALSE(ctx.in_tx());
+  // The context is immediately reusable.
+  const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) { tx.write(w, 2); });
+  EXPECT_TRUE(committed(s));
+  EXPECT_EQ(w.load(), 2u);
+}
+
+TEST(SoftHtm, SequentialTransactionsSeeEachOther) {
+  SoftHtm tm;
+  SoftHtm::ThreadContext ctx(tm);
+  TmWord w{0};
+  for (std::uint64_t i = 1; i <= 50; ++i) {
+    const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) {
+      EXPECT_EQ(tx.read(w), i - 1);
+      tx.write(w, i);
+    });
+    ASSERT_TRUE(committed(s));
+  }
+  EXPECT_EQ(w.load(), 50u);
+}
+
+// ------------------------------------------------------- multi threaded ----
+
+TEST(SoftHtm, ConcurrentCounterIsExact) {
+  SoftHtm tm;
+  TmWord counter{0};
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 4000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      SoftHtm::ThreadContext ctx(tm);
+      for (int i = 0; i < kIncrements; ++i) {
+        while (true) {
+          const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) {
+            tx.write(counter, tx.read(counter) + 1);
+          });
+          if (committed(s)) break;
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter.load(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(SoftHtm, BankTransferInvariantHolds) {
+  SoftHtm tm;
+  constexpr int kAccounts = 32;
+  constexpr std::uint64_t kInitial = 1000;
+  std::vector<TmWord> accounts(kAccounts);
+  for (auto& a : accounts) a.store(kInitial);
+
+  constexpr int kThreads = 4;
+  constexpr int kTransfers = 3000;
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      SoftHtm::ThreadContext ctx(tm);
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kTransfers; ++i) {
+        const auto from = rng.below(kAccounts);
+        const auto to = rng.below(kAccounts);
+        if (from == to) continue;
+        while (true) {
+          const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) {
+            const std::uint64_t f = tx.read(accounts[from]);
+            if (f == 0) return;
+            tx.write(accounts[from], f - 1);
+            tx.write(accounts[to], tx.read(accounts[to]) + 1);
+          });
+          if (committed(s)) break;
+        }
+        // Occasionally audit the total transactionally.
+        if (i % 256 == 0) {
+          while (true) {
+            std::uint64_t total = 0;
+            const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) {
+              total = 0;
+              for (auto& a : accounts) total += tx.read(a);
+            });
+            if (committed(s)) {
+              if (total != kAccounts * kInitial) violation.store(true);
+              break;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(violation.load()) << "transactional audit saw a torn total";
+  std::uint64_t total = 0;
+  for (auto& a : accounts) total += a.load();
+  EXPECT_EQ(total, kAccounts * kInitial);
+}
+
+TEST(SoftHtm, SubscribedTransactionsYieldToNonTransactionalWriter) {
+  SoftHtm tm;
+  TmWord data{0};
+  std::atomic<std::uint64_t> lock_word{0};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> aborted_by_lock{0};
+
+  std::thread worker([&] {
+    SoftHtm::ThreadContext ctx(tm);
+    while (!stop.load()) {
+      const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) {
+        tx.subscribe(lock_word, 0);
+        tx.write(data, tx.read(data) + 1);
+      });
+      if (!committed(s)) aborted_by_lock.fetch_add(1);
+    }
+  });
+
+  for (int i = 0; i < 200; ++i) {
+    lock_word.store(1);
+    std::this_thread::yield();
+    lock_word.store(0);
+  }
+  stop.store(true);
+  worker.join();
+  // The exact count is timing-dependent; the property under test is that the
+  // run terminates without torn state and the counter only grew.
+  EXPECT_GE(data.load(), 0u);
+}
+
+}  // namespace
+}  // namespace seer::htm

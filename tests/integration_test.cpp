@@ -1,0 +1,267 @@
+// End-to-end shape tests: full simulator runs over the calibrated STAMP
+// stand-ins, asserting the qualitative results the paper reports (who wins,
+// where the crossovers fall, where the locks engage) rather than absolute
+// numbers. These are the automated guardrails behind EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/machine.hpp"
+#include "stamp/workloads.hpp"
+
+namespace seer {
+namespace {
+
+sim::MachineStats run(const std::string& workload, rt::PolicyKind kind,
+                      std::size_t threads, std::uint64_t txs = 1200,
+                      std::uint64_t seed = 21) {
+  sim::MachineConfig cfg;
+  cfg.n_threads = threads;
+  cfg.txs_per_thread = txs;
+  cfg.policy.kind = kind;
+  cfg.seed = seed;
+  return sim::run_machine(cfg, stamp::make_workload(workload, threads));
+}
+
+double sgl_fraction(const sim::MachineStats& s) {
+  return s.mode_fraction(rt::CommitMode::kSglFallback);
+}
+
+// ------------------------------------------------------------- Figure 3 ----
+
+TEST(Shape, SeerBeatsRtmOnEveryConflictHeavyBenchmark) {
+  for (const char* wl : {"genome", "intruder", "kmeans-high", "vacation-high"}) {
+    const auto seer = run(wl, rt::PolicyKind::kSeer, 8);
+    const auto rtm = run(wl, rt::PolicyKind::kRtm, 8);
+    EXPECT_GT(seer.speedup(), rtm.speedup()) << wl;
+  }
+}
+
+TEST(Shape, VacationHighReproducesHeadlineGain) {
+  // The paper's peak: ~2-2.5x over the best baseline curve shape for
+  // RTM (~0.8 at 8 threads) vs Seer (~2.2).
+  const auto seer = run("vacation-high", rt::PolicyKind::kSeer, 8);
+  const auto rtm = run("vacation-high", rt::PolicyKind::kRtm, 8);
+  EXPECT_LT(rtm.speedup(), 1.2);
+  EXPECT_GT(seer.speedup(), 1.8);
+  EXPECT_GT(seer.speedup(), 2.0 * rtm.speedup());
+}
+
+TEST(Shape, Ssca2ScalesForEveryPolicyAndSeerOverheadIsSmall) {
+  const auto rtm = run("ssca2", rt::PolicyKind::kRtm, 8, 2500);
+  const auto seer = run("ssca2", rt::PolicyKind::kSeer, 8, 2500);
+  const auto scm = run("ssca2", rt::PolicyKind::kScm, 8, 2500);
+  EXPECT_GT(rtm.speedup(), 4.0);
+  EXPECT_GT(scm.speedup(), 4.0);
+  EXPECT_GT(seer.speedup(), 4.0);
+  // Figure 4's bound: the profiling machinery costs well under 10%.
+  EXPECT_GT(seer.speedup() / rtm.speedup(), 0.90);
+}
+
+TEST(Shape, YadaStaysBelowOneForEveryone) {
+  for (auto kind : {rt::PolicyKind::kHle, rt::PolicyKind::kRtm, rt::PolicyKind::kScm,
+                    rt::PolicyKind::kSeer}) {
+    const auto s = run("yada", rt::PolicyKind(kind), 8, 600);
+    EXPECT_LT(s.speedup(), 1.25) << rt::to_string(kind);
+  }
+}
+
+TEST(Shape, SeerMatchesBaselinesAtLowThreadCounts) {
+  // §5.1: "Seer performs similarly to the best solution up to 3 threads".
+  for (const char* wl : {"intruder", "kmeans-high"}) {
+    const auto seer = run(wl, rt::PolicyKind::kSeer, 2);
+    const auto rtm = run(wl, rt::PolicyKind::kRtm, 2);
+    EXPECT_GT(seer.speedup(), 0.85 * rtm.speedup()) << wl;
+  }
+}
+
+// -------------------------------------------------------------- Table 3 ----
+
+TEST(Shape, HleSuffersTheLemmingEffect) {
+  const auto s = run("intruder", rt::PolicyKind::kHle, 8);
+  EXPECT_GT(sgl_fraction(s), 0.75)
+      << "HLE at 8 threads must devolve to the elided lock";
+  const auto s2 = run("intruder", rt::PolicyKind::kHle, 2);
+  EXPECT_LT(sgl_fraction(s2), sgl_fraction(s)) << "fraction grows with threads";
+}
+
+TEST(Shape, RtmFallbackGrowsWithThreads) {
+  const auto t2 = run("genome", rt::PolicyKind::kRtm, 2);
+  const auto t8 = run("genome", rt::PolicyKind::kRtm, 8);
+  EXPECT_GT(sgl_fraction(t8), sgl_fraction(t2));
+  EXPECT_GT(sgl_fraction(t8), 0.05);
+}
+
+TEST(Shape, SeerDrasticallyReducesFallbackVsRtm) {
+  for (const char* wl : {"genome", "intruder", "kmeans-high", "vacation-high"}) {
+    const auto seer = run(wl, rt::PolicyKind::kSeer, 8);
+    const auto rtm = run(wl, rt::PolicyKind::kRtm, 8);
+    EXPECT_LT(sgl_fraction(seer), 0.55 * sgl_fraction(rtm) + 0.01) << wl;
+  }
+}
+
+TEST(Shape, ScmRunsUnderAuxiliaryLock) {
+  const auto s = run("intruder", rt::PolicyKind::kScm, 8);
+  EXPECT_GT(s.mode_fraction(rt::CommitMode::kHtmAuxLock), 0.02)
+      << "a visible share of SCM commits happens under the aux lock";
+  EXPECT_LT(sgl_fraction(s), 0.10) << "SCM rarely reaches the SGL";
+}
+
+TEST(Shape, SeerUsesFineGrainedModes) {
+  const auto s = run("intruder", rt::PolicyKind::kSeer, 8, 2500);
+  const double tx_modes = s.mode_fraction(rt::CommitMode::kHtmTxLocks) +
+                          s.mode_fraction(rt::CommitMode::kHtmTxAndCore);
+  EXPECT_GT(tx_modes, 0.01) << "tx locks must carry some commits";
+  EXPECT_GT(s.mode_fraction(rt::CommitMode::kHtmNoLocks), 0.5)
+      << "most commits still run completely lock-free (Table 3: 80%)";
+}
+
+TEST(Shape, ModeFractionsSumToOne) {
+  for (auto kind : {rt::PolicyKind::kHle, rt::PolicyKind::kRtm, rt::PolicyKind::kScm,
+                    rt::PolicyKind::kAts, rt::PolicyKind::kSgl, rt::PolicyKind::kSeer}) {
+    const auto s = run("kmeans-low", rt::PolicyKind(kind), 6, 500);
+    double total = 0.0;
+    for (std::size_t m = 0; m < s.commits_by_mode.size(); ++m) {
+      total += s.mode_fraction(static_cast<rt::CommitMode>(m));
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << rt::to_string(kind);
+  }
+}
+
+// ----------------------------------------------------------- §5.2 claim ----
+
+TEST(Shape, TxLockAcquisitionsAreFineGrained) {
+  const auto s = run("intruder", rt::PolicyKind::kSeer, 8, 2500);
+  ASSERT_GT(s.txlock_fraction.count(), 0u);
+  // Median acquisition takes a small fraction of the available tx locks
+  // (paper §5.2: below 23% in half the cases, on larger programs).
+  EXPECT_LE(s.txlock_fraction.percentile(0.5), 0.67);
+}
+
+// ------------------------------------------------------------- capacity ----
+
+TEST(Shape, YadaCapacityAbortsAppearOnlyWithSmt) {
+  const auto t4 = run("yada", rt::PolicyKind::kRtm, 4, 400);
+  const auto t8 = run("yada", rt::PolicyKind::kRtm, 8, 400);
+  const auto cap = static_cast<std::size_t>(htm::AbortCause::kCapacity);
+  EXPECT_GT(t8.aborts_by_cause[cap], 4 * t4.aborts_by_cause[cap])
+      << "SMT sharing is what creates capacity pressure";
+}
+
+TEST(Shape, SeerCoreLocksEngageOnYada) {
+  const auto s = run("yada", rt::PolicyKind::kSeer, 8, 600);
+  const double core_modes = s.mode_fraction(rt::CommitMode::kHtmCoreLock) +
+                            s.mode_fraction(rt::CommitMode::kHtmTxAndCore);
+  EXPECT_GT(core_modes, 0.02);
+}
+
+// ------------------------------------------------------------ inference ----
+
+TEST(Shape, SeerInfersIntruderSelfConflicts) {
+  const auto s = run("intruder", rt::PolicyKind::kSeer, 8, 2500);
+  ASSERT_EQ(s.final_scheme.size(), 3u);
+  // The three pipeline stages contend with themselves; at least two of the
+  // three self edges must be discovered (statistics are noisy by design).
+  int self_edges = 0;
+  for (core::TxTypeId t = 0; t < 3; ++t) {
+    for (core::TxTypeId y : s.final_scheme[static_cast<std::size_t>(t)]) {
+      if (y == t) ++self_edges;
+    }
+  }
+  EXPECT_GE(self_edges, 2);
+  EXPECT_GT(s.scheme_rebuilds, 3u);
+}
+
+TEST(Shape, SeerSchemeStaysEmptyWithoutConflicts) {
+  const auto s = run("ssca2", rt::PolicyKind::kSeer, 8, 2000);
+  std::size_t edges = 0;
+  for (const auto& row : s.final_scheme) edges += row.size();
+  EXPECT_EQ(edges, 0u) << "no conflicts, no serialization";
+}
+
+TEST(Shape, HillClimbingMovesThresholds) {
+  sim::MachineConfig cfg;
+  cfg.n_threads = 8;
+  cfg.txs_per_thread = 3000;
+  cfg.policy.kind = rt::PolicyKind::kSeer;
+  cfg.seed = 21;
+  const auto s = sim::run_machine(cfg, stamp::make_workload("intruder", 8));
+  const bool moved = s.final_params.th1 != 0.3 || s.final_params.th2 != 0.8;
+  EXPECT_TRUE(moved) << "self-tuning never adjusted (Th1, Th2)";
+}
+
+// ------------------------------------------------------------- ablation ----
+
+TEST(Shape, OracleBoundsSeerFromAbove) {
+  // The Oracle has STM-grade precise attribution (Figure 1's left side);
+  // Seer must land between RTM and the Oracle on conflict-heavy workloads.
+  for (const char* wl : {"intruder", "kmeans-high"}) {
+    const auto rtm = run(wl, rt::PolicyKind::kRtm, 8, 2000);
+    const auto seer = run(wl, rt::PolicyKind::kSeer, 8, 2000);
+    const auto oracle = run(wl, rt::PolicyKind::kOracle, 8, 2000);
+    EXPECT_GT(oracle.speedup(), rtm.speedup()) << wl;
+    EXPECT_GT(seer.speedup(), rtm.speedup()) << wl;
+    EXPECT_GT(oracle.speedup(), 0.85 * seer.speedup())
+        << wl << ": precise information should not lose badly to inference";
+  }
+}
+
+TEST(Shape, OracleLearnsPreciselyOnIntruder) {
+  sim::MachineConfig cfg;
+  cfg.n_threads = 8;
+  cfg.txs_per_thread = 2000;
+  cfg.policy.kind = rt::PolicyKind::kOracle;
+  cfg.seed = 21;
+  sim::Machine m(cfg, stamp::make_workload("intruder", 8));
+  (void)m.run();
+  auto* oracle = m.policy_shared().oracle();
+  ASSERT_NE(oracle, nullptr);
+  // capture<->capture is the hottest precisely-attributed pair.
+  EXPECT_GT(oracle->conflicts(0, 0), 0u);
+  EXPECT_TRUE(oracle->scheme()->row(0).contains(0));
+}
+
+TEST(Shape, TxLocksImproveOverProfileOnly) {
+  sim::MachineConfig base;
+  base.n_threads = 8;
+  base.txs_per_thread = 1500;
+  base.seed = 21;
+  base.policy.kind = rt::PolicyKind::kSeer;
+  base.policy.seer.enable_tx_locks = false;
+  base.policy.seer.enable_core_locks = false;
+  base.policy.seer.enable_htm_lock_acquire = false;
+  base.policy.seer.enable_hill_climbing = false;
+
+  auto with_tx = base;
+  with_tx.policy.seer.enable_tx_locks = true;
+
+  const auto profile_only =
+      sim::run_machine(base, stamp::make_workload("intruder", 8));
+  const auto tx_locks =
+      sim::run_machine(with_tx, stamp::make_workload("intruder", 8));
+  EXPECT_GT(tx_locks.speedup(), profile_only.speedup())
+      << "Figure 5: transaction locks provide the largest boost";
+}
+
+TEST(Shape, CoreLocksAloneHelpYadaAt8Threads) {
+  sim::MachineConfig base;
+  base.n_threads = 8;
+  base.txs_per_thread = 600;
+  base.seed = 21;
+  base.policy.kind = rt::PolicyKind::kSeer;
+  base.policy.seer.enable_tx_locks = false;
+  base.policy.seer.enable_core_locks = false;
+  base.policy.seer.enable_htm_lock_acquire = false;
+  base.policy.seer.enable_hill_climbing = false;
+
+  auto with_core = base;
+  with_core.policy.seer.enable_core_locks = true;
+
+  const auto off = sim::run_machine(base, stamp::make_workload("yada", 8));
+  const auto on = sim::run_machine(with_core, stamp::make_workload("yada", 8));
+  EXPECT_GT(on.speedup(), off.speedup())
+      << "§5.3: enabling only core locks speeds up SMT-capacity workloads";
+}
+
+}  // namespace
+}  // namespace seer
