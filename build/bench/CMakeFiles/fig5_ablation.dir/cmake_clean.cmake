@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_ablation.dir/fig5_ablation.cpp.o"
+  "CMakeFiles/fig5_ablation.dir/fig5_ablation.cpp.o.d"
+  "fig5_ablation"
+  "fig5_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_gap.dir/oracle_gap.cpp.o"
+  "CMakeFiles/oracle_gap.dir/oracle_gap.cpp.o.d"
+  "oracle_gap"
+  "oracle_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_explorer.dir/inference_explorer.cpp.o"
+  "CMakeFiles/inference_explorer.dir/inference_explorer.cpp.o.d"
+  "inference_explorer"
+  "inference_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_core.dir/lock_scheme.cpp.o"
+  "CMakeFiles/seer_core.dir/lock_scheme.cpp.o.d"
+  "CMakeFiles/seer_core.dir/seer_scheduler.cpp.o"
+  "CMakeFiles/seer_core.dir/seer_scheduler.cpp.o.d"
+  "libseer_core.a"
+  "libseer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_htm.dir/soft_htm.cpp.o"
+  "CMakeFiles/seer_htm.dir/soft_htm.cpp.o.d"
+  "libseer_htm.a"
+  "libseer_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/policies.cpp" "src/runtime/CMakeFiles/seer_runtime.dir/policies.cpp.o" "gcc" "src/runtime/CMakeFiles/seer_runtime.dir/policies.cpp.o.d"
+  "/root/repo/src/runtime/threaded_executor.cpp" "src/runtime/CMakeFiles/seer_runtime.dir/threaded_executor.cpp.o" "gcc" "src/runtime/CMakeFiles/seer_runtime.dir/threaded_executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/seer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/seer_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_runtime.dir/policies.cpp.o"
+  "CMakeFiles/seer_runtime.dir/policies.cpp.o.d"
+  "CMakeFiles/seer_runtime.dir/threaded_executor.cpp.o"
+  "CMakeFiles/seer_runtime.dir/threaded_executor.cpp.o.d"
+  "libseer_runtime.a"
+  "libseer_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/seer_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/seer_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/seer_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/seer_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/seer_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/seer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seer_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/seer_htm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

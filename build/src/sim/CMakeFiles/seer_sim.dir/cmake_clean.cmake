@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_sim.dir/machine.cpp.o"
+  "CMakeFiles/seer_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/seer_sim.dir/workload.cpp.o"
+  "CMakeFiles/seer_sim.dir/workload.cpp.o.d"
+  "libseer_sim.a"
+  "libseer_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

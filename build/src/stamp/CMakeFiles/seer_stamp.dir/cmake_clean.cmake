@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_stamp.dir/spec.cpp.o"
+  "CMakeFiles/seer_stamp.dir/spec.cpp.o.d"
+  "CMakeFiles/seer_stamp.dir/workloads.cpp.o"
+  "CMakeFiles/seer_stamp.dir/workloads.cpp.o.d"
+  "libseer_stamp.a"
+  "libseer_stamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_stamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

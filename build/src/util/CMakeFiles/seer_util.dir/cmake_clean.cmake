@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_util.dir/gaussian.cpp.o"
+  "CMakeFiles/seer_util.dir/gaussian.cpp.o.d"
+  "CMakeFiles/seer_util.dir/stats.cpp.o"
+  "CMakeFiles/seer_util.dir/stats.cpp.o.d"
+  "libseer_util.a"
+  "libseer_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stamp_test.cpp" "tests/CMakeFiles/stamp_test.dir/stamp_test.cpp.o" "gcc" "tests/CMakeFiles/stamp_test.dir/stamp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stamp/CMakeFiles/seer_stamp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/seer_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/seer_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/seer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/seer_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seer_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
