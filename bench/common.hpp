@@ -4,6 +4,12 @@
 // (Figure 3, Table 3, Figure 4, Figure 5). Runs are averaged over several
 // seeds (the paper averages 20 hardware runs; the simulator is deterministic
 // per seed so a handful suffices — override with --runs).
+//
+// Every exhibit is expressed as a flat list of independent configuration
+// cells (bench/runner.hpp) fanned out across a thread pool: --jobs controls
+// the worker count (default: all hardware threads) and NEVER changes the
+// output, because each cell is deterministic and printing happens after the
+// whole sweep, in cell order.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +22,7 @@
 #include "sim/machine.hpp"
 #include "stamp/workloads.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace seer::bench {
 
@@ -24,6 +31,8 @@ struct Options {
                             // deterministic; raise for tighter averages)
   double txs_scale = 0.5;   // fraction of each workload's bench_txs_per_thread
   std::uint64_t base_seed = 1000;
+  int jobs = 0;             // simulator runs in flight; 0 = hardware threads
+  std::string json_path;    // per-config machine-readable results (--json)
   std::vector<std::string> workloads;  // empty = all eight
 
   static Options parse(int argc, char** argv) {
@@ -43,12 +52,16 @@ struct Options {
         o.txs_scale = std::atof(next());
       } else if (arg == "--seed") {
         o.base_seed = static_cast<std::uint64_t>(std::atoll(next()));
+      } else if (arg == "--jobs") {
+        o.jobs = std::atoi(next());
+      } else if (arg == "--json") {
+        o.json_path = next();
       } else if (arg == "--workload") {
         o.workloads.push_back(next());
       } else if (arg == "--help" || arg == "-h") {
         std::printf(
-            "options: --runs N  --txs-scale F  --seed S  --workload NAME "
-            "(repeatable)\n");
+            "options: --runs N  --txs-scale F  --seed S  --jobs N  "
+            "--json PATH  --workload NAME (repeatable)\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown option %s\n", arg.c_str());
@@ -56,6 +69,13 @@ struct Options {
       }
     }
     return o;
+  }
+
+  // Worker threads for the sweep: --jobs if given, else every hardware
+  // thread (the simulator is single-threaded, so cells pack one per core).
+  [[nodiscard]] std::size_t effective_jobs() const {
+    return jobs > 0 ? static_cast<std::size_t>(jobs)
+                    : util::ThreadPool::hardware_jobs();
   }
 
   [[nodiscard]] std::vector<stamp::WorkloadInfo> selected() const {
@@ -90,74 +110,6 @@ struct Summary {
   double txlock_median_fraction = 0.0;
   double txlock_under_23pct = 0.0;
 };
-
-inline Summary run_config(const stamp::WorkloadInfo& info, const Options& opts,
-                          rt::PolicyConfig policy, std::size_t threads) {
-  Summary sum;
-  util::RunningStats speedup;
-  double census_lt = 0.0;
-  double census_median = 0.0;
-  int census_runs = 0;
-  for (int r = 0; r < opts.runs; ++r) {
-    sim::MachineConfig cfg;
-    cfg.n_threads = threads;
-    cfg.txs_per_thread = std::max<std::uint64_t>(
-        200, static_cast<std::uint64_t>(
-                 static_cast<double>(info.bench_txs_per_thread) * opts.txs_scale));
-    cfg.policy = policy;
-    cfg.seed = opts.base_seed + static_cast<std::uint64_t>(r) * 7919;
-    const sim::MachineStats s =
-        sim::run_machine(cfg, std::make_unique<stamp::SpecWorkload>(info.spec(), threads));
-    speedup.add(s.speedup());
-    sum.sgl_fraction += s.mode_fraction(rt::CommitMode::kSglFallback);
-    sum.aux_fraction += s.mode_fraction(rt::CommitMode::kHtmAuxLock);
-    sum.sched_fraction += s.mode_fraction(rt::CommitMode::kHtmSchedLock);
-    sum.tx_fraction += s.mode_fraction(rt::CommitMode::kHtmTxLocks);
-    sum.core_fraction += s.mode_fraction(rt::CommitMode::kHtmCoreLock);
-    sum.tx_core_fraction += s.mode_fraction(rt::CommitMode::kHtmTxAndCore);
-    sum.no_lock_fraction += s.mode_fraction(rt::CommitMode::kHtmNoLocks);
-    sum.aborts_per_commit +=
-        s.commits > 0 ? static_cast<double>(s.aborts()) / static_cast<double>(s.commits)
-                      : 0.0;
-    sum.capacity_aborts += static_cast<double>(
-        s.aborts_by_cause[static_cast<std::size_t>(htm::AbortCause::kCapacity)]);
-    if (s.txlock_fraction.count() > 0) {
-      census_median += s.txlock_fraction.percentile(0.5);
-      // Share of acquisitions that took < 23% of the tx locks (§5.2).
-      const double q23 = s.txlock_fraction.percentile(0.23);
-      (void)q23;
-      // Estimate P(fraction < 0.23) by scanning percentiles.
-      double lo = 0.0;
-      double hi = 1.0;
-      for (int it = 0; it < 20; ++it) {
-        const double mid = 0.5 * (lo + hi);
-        if (s.txlock_fraction.percentile(mid) < 0.23) {
-          lo = mid;
-        } else {
-          hi = mid;
-        }
-      }
-      census_lt += 0.5 * (lo + hi);
-      ++census_runs;
-    }
-  }
-  const double n = static_cast<double>(opts.runs);
-  sum.speedup = speedup.mean();
-  sum.sgl_fraction /= n;
-  sum.aux_fraction /= n;
-  sum.sched_fraction /= n;
-  sum.tx_fraction /= n;
-  sum.core_fraction /= n;
-  sum.tx_core_fraction /= n;
-  sum.no_lock_fraction /= n;
-  sum.aborts_per_commit /= n;
-  sum.capacity_aborts /= n;
-  if (census_runs > 0) {
-    sum.txlock_median_fraction = census_median / census_runs;
-    sum.txlock_under_23pct = census_lt / census_runs;
-  }
-  return sum;
-}
 
 inline rt::PolicyConfig policy_of(rt::PolicyKind kind) {
   rt::PolicyConfig cfg;

@@ -3,9 +3,13 @@
 // 1..8 threads on each of the eight workloads, plus the geometric mean
 // (Figure 3i). ATS is printed as an additional baseline (the paper subsumes
 // it into the RTM/SGL discussion, Table 1).
+//
+// The whole sweep (workload × thread-count × policy) is evaluated first,
+// fanned out across --jobs workers; printing then walks the results in cell
+// order, so the output is byte-identical for any job count.
 #include <cstdio>
 
-#include "bench/common.hpp"
+#include "bench/runner.hpp"
 
 namespace {
 
@@ -23,23 +27,36 @@ int main(int argc, char** argv) {
   const Options opts = Options::parse(argc, argv);
   const auto workloads = opts.selected();
 
+  std::vector<bench::Cell> cells;
+  for (const auto& info : workloads) {
+    for (std::size_t threads : kThreadCounts) {
+      for (auto kind : kPolicies) {
+        cells.push_back({info, bench::policy_of(kind), threads, {}});
+      }
+    }
+  }
+  const auto results = bench::run_cells(cells, opts);
+  // cell index of (workload wi, thread-count ti, policy pi):
+  auto at = [&](std::size_t wi, std::size_t ti, std::size_t pi) -> const bench::Summary& {
+    return results[(wi * std::size(kThreadCounts) + ti) * std::size(kPolicies) + pi]
+        .summary;
+  };
+
   std::printf("=== Figure 3: speedup vs sequential, 1-8 threads ===\n");
   std::printf("(runs per point: %d; deterministic simulator seeds)\n\n", opts.runs);
 
   // geo[policy][thread-count-index]
   util::GeoMean geo[std::size(kPolicies)][std::size(kThreadCounts)];
 
-  for (const auto& info : workloads) {
-    std::printf("--- %s ---\n", info.name.c_str());
+  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+    std::printf("--- %s ---\n", workloads[wi].name.c_str());
     std::printf("%-6s", "thr");
     for (auto kind : kPolicies) std::printf("  %8s", rt::to_string(kind));
     std::printf("\n");
     for (std::size_t ti = 0; ti < std::size(kThreadCounts); ++ti) {
-      const std::size_t threads = kThreadCounts[ti];
-      std::printf("%-6zu", threads);
+      std::printf("%-6zu", kThreadCounts[ti]);
       for (std::size_t pi = 0; pi < std::size(kPolicies); ++pi) {
-        const bench::Summary s =
-            bench::run_config(info, opts, bench::policy_of(kPolicies[pi]), threads);
+        const bench::Summary& s = at(wi, ti, pi);
         std::printf("  %8.2f", s.speedup);
         geo[pi][ti].add(s.speedup);
       }
@@ -70,5 +87,7 @@ int main(int argc, char** argv) {
       "(%+.0f%%)  [paper: +62%% avg over RTM and SCM, peaks 2-2.5x]\n",
       seer8 / rtm8, 100.0 * (seer8 / rtm8 - 1.0), seer8 / scm8,
       100.0 * (seer8 / scm8 - 1.0));
+
+  bench::write_json("fig3_speedup", cells, results, opts);
   return 0;
 }

@@ -6,7 +6,7 @@
 // a low-contention hash-map microbenchmark — which is also reproduced here.
 #include <cstdio>
 
-#include "bench/common.hpp"
+#include "bench/runner.hpp"
 
 namespace {
 
@@ -48,23 +48,41 @@ int main(int argc, char** argv) {
   const Options opts = Options::parse(argc, argv);
   auto workloads = opts.selected();
 
+  const rt::PolicyConfig profile_only = bench::seer_variant(false, false, false, true);
+  const rt::PolicyConfig rtm = bench::policy_of(rt::PolicyKind::kRtm);
+  const stamp::WorkloadInfo hm{"hashmap-4k", hashmap_spec, 8000};
+
+  // Cells: the STAMP block [(ti, wi) × {Seer-profile, RTM}] followed by the
+  // hash-map block [ti × {RTM, Seer-profile}].
+  std::vector<bench::Cell> cells;
+  for (std::size_t threads : kThreadCounts) {
+    for (const auto& info : workloads) {
+      cells.push_back({info, profile_only, threads, "Seer-profile-only"});
+      cells.push_back({info, rtm, threads, {}});
+    }
+  }
+  const std::size_t hm_base = cells.size();
+  for (std::size_t threads : kThreadCounts) {
+    cells.push_back({hm, rtm, threads, {}});
+    cells.push_back({hm, profile_only, threads, "Seer-profile-only"});
+  }
+  const auto results = bench::run_cells(cells, opts);
+
   std::printf("=== Figure 4: overhead of profile-only Seer relative to RTM ===\n");
   std::printf("(Seer with statistics, inference and tuning enabled but no lock\n");
   std::printf(" acquisition; values < 1.0 are slowdown)\n\n");
 
-  const rt::PolicyConfig profile_only = bench::seer_variant(false, false, false, true);
-  const rt::PolicyConfig rtm = bench::policy_of(rt::PolicyKind::kRtm);
-
   std::printf("%-6s  %10s\n", "thr", "geo-mean");
   double worst = 1.0;
-  for (std::size_t threads : kThreadCounts) {
+  for (std::size_t ti = 0; ti < std::size(kThreadCounts); ++ti) {
     util::GeoMean ratio;
-    for (const auto& info : workloads) {
-      const double seer = bench::run_config(info, opts, profile_only, threads).speedup;
-      const double base = bench::run_config(info, opts, rtm, threads).speedup;
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+      const std::size_t idx = (ti * workloads.size() + wi) * 2;
+      const double seer = results[idx].summary.speedup;
+      const double base = results[idx + 1].summary.speedup;
       if (base > 0.0) ratio.add(seer / base);
     }
-    std::printf("%-6zu  %10.3f\n", threads, ratio.value());
+    std::printf("%-6zu  %10.3f\n", kThreadCounts[ti], ratio.value());
     if (ratio.value() < worst) worst = ratio.value();
   }
   std::printf("\nworst geo-mean point: %.1f%% slowdown  [paper: <5%% mean, <=8%% max]\n",
@@ -72,13 +90,14 @@ int main(int argc, char** argv) {
 
   // Low-contention hash map stress (paper: at most 4% overhead).
   std::printf("\n--- low-contention hash-map (4k elements / 1k buckets) ---\n");
-  stamp::WorkloadInfo hm{"hashmap-4k", hashmap_spec, 8000};
   std::printf("%-6s  %10s  %10s  %10s\n", "thr", "RTM", "Seer-prof", "ratio");
-  for (std::size_t threads : kThreadCounts) {
-    const double base = bench::run_config(hm, opts, rtm, threads).speedup;
-    const double seer = bench::run_config(hm, opts, profile_only, threads).speedup;
-    std::printf("%-6zu  %10.2f  %10.2f  %9.1f%%\n", threads, base, seer,
+  for (std::size_t ti = 0; ti < std::size(kThreadCounts); ++ti) {
+    const double base = results[hm_base + 2 * ti].summary.speedup;
+    const double seer = results[hm_base + 2 * ti + 1].summary.speedup;
+    std::printf("%-6zu  %10.2f  %10.2f  %9.1f%%\n", kThreadCounts[ti], base, seer,
                 100.0 * (seer / base - 1.0));
   }
+
+  bench::write_json("fig4_overhead", cells, results, opts);
   return 0;
 }

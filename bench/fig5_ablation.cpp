@@ -12,7 +12,7 @@
 // (paper: +9% at 6 threads, +22% at 8 threads, geometric mean).
 #include <cstdio>
 
-#include "bench/common.hpp"
+#include "bench/runner.hpp"
 
 namespace {
 
@@ -39,27 +39,47 @@ int main(int argc, char** argv) {
       {"+hill-climbing", bench::seer_variant(true, true, true, true)},
   };
   const rt::PolicyConfig baseline = bench::seer_variant(false, false, false, false);
+  const rt::PolicyConfig core_only = bench::seer_variant(false, true, false, false);
+
+  // Per workload: baseline at each thread count, then the four cumulative
+  // variants at each thread count, then core-locks-only at each thread
+  // count. Stride per workload = (1 + |variants| + 1) · |kThreadCounts|.
+  const std::size_t n_tc = std::size(kThreadCounts);
+  const std::size_t stride = (1 + std::size(variants) + 1) * n_tc;
+  std::vector<bench::Cell> cells;
+  for (const auto& info : workloads) {
+    for (std::size_t threads : kThreadCounts) {
+      cells.push_back({info, baseline, threads, "Seer-profile-only"});
+    }
+    for (const auto& v : variants) {
+      for (std::size_t threads : kThreadCounts) {
+        cells.push_back({info, v.policy, threads, v.label});
+      }
+    }
+    for (std::size_t threads : kThreadCounts) {
+      cells.push_back({info, core_only, threads, "core-locks-only"});
+    }
+  }
+  const auto results = bench::run_cells(cells, opts);
 
   std::printf("=== Figure 5: cumulative contribution of Seer's techniques ===\n");
   std::printf("(speedup relative to profile-only Seer; >1.0 = the mechanism helps)\n\n");
 
   util::GeoMean geo[std::size(variants)][std::size(kThreadCounts)];
 
-  for (const auto& info : workloads) {
-    std::printf("--- %s ---\n", info.name.c_str());
+  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+    std::printf("--- %s ---\n", workloads[wi].name.c_str());
     std::printf("%-16s", "variant");
     for (std::size_t t : kThreadCounts) std::printf("  %5zut", t);
     std::printf("\n");
     double base[std::size(kThreadCounts)];
-    for (std::size_t ti = 0; ti < std::size(kThreadCounts); ++ti) {
-      base[ti] = bench::run_config(info, opts, baseline, kThreadCounts[ti]).speedup;
+    for (std::size_t ti = 0; ti < n_tc; ++ti) {
+      base[ti] = results[wi * stride + ti].summary.speedup;
     }
     for (std::size_t vi = 0; vi < std::size(variants); ++vi) {
       std::printf("%-16s", variants[vi].label);
-      for (std::size_t ti = 0; ti < std::size(kThreadCounts); ++ti) {
-        const double s =
-            bench::run_config(info, opts, variants[vi].policy, kThreadCounts[ti])
-                .speedup;
+      for (std::size_t ti = 0; ti < n_tc; ++ti) {
+        const double s = results[wi * stride + (1 + vi) * n_tc + ti].summary.speedup;
         const double rel = base[ti] > 0.0 ? s / base[ti] : 0.0;
         std::printf("  %6.2f", rel);
         geo[vi][ti].add(rel);
@@ -74,7 +94,7 @@ int main(int argc, char** argv) {
   std::printf("\n");
   for (std::size_t vi = 0; vi < std::size(variants); ++vi) {
     std::printf("%-16s", variants[vi].label);
-    for (std::size_t ti = 0; ti < std::size(kThreadCounts); ++ti) {
+    for (std::size_t ti = 0; ti < n_tc; ++ti) {
       std::printf("  %6.2f", geo[vi][ti].value());
     }
     std::printf("\n");
@@ -82,17 +102,19 @@ int main(int argc, char** argv) {
 
   // §5.3: enabling ONLY the core locks.
   std::printf("\n--- core locks only (§5.3: paper reports +9%% @6t, +22%% @8t) ---\n");
-  const rt::PolicyConfig core_only = bench::seer_variant(false, true, false, false);
   std::printf("%-16s", "core-locks-only");
-  for (std::size_t ti = 0; ti < std::size(kThreadCounts); ++ti) {
+  for (std::size_t ti = 0; ti < n_tc; ++ti) {
     util::GeoMean g;
-    for (const auto& info : workloads) {
-      const double b = bench::run_config(info, opts, baseline, kThreadCounts[ti]).speedup;
-      const double s = bench::run_config(info, opts, core_only, kThreadCounts[ti]).speedup;
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+      const double b = results[wi * stride + ti].summary.speedup;
+      const double s =
+          results[wi * stride + (1 + std::size(variants)) * n_tc + ti].summary.speedup;
       if (b > 0.0) g.add(s / b);
     }
     std::printf("  %6.2f", g.value());
   }
   std::printf("\n");
+
+  bench::write_json("fig5_ablation", cells, results, opts);
   return 0;
 }

@@ -11,7 +11,7 @@
 // approach recovers on each workload.
 #include <cstdio>
 
-#include "bench/common.hpp"
+#include "bench/runner.hpp"
 
 namespace {
 
@@ -28,21 +28,31 @@ int main(int argc, char** argv) {
   const Options opts = Options::parse(argc, argv);
   const auto workloads = opts.selected();
 
+  std::vector<bench::Cell> cells;
+  for (const auto& info : workloads) {
+    for (std::size_t threads : kThreadCounts) {
+      for (auto kind : kPolicies) {
+        cells.push_back({info, bench::policy_of(kind), threads, {}});
+      }
+    }
+  }
+  const auto results = bench::run_cells(cells, opts);
+
   std::printf("=== Oracle gap: imprecise (Seer) vs precise (Oracle) scheduling ===\n\n");
 
   util::GeoMean geo[std::size(kPolicies)][std::size(kThreadCounts)];
 
-  for (const auto& info : workloads) {
-    std::printf("--- %s ---\n%-6s", info.name.c_str(), "thr");
+  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+    std::printf("--- %s ---\n%-6s", workloads[wi].name.c_str(), "thr");
     for (auto kind : kPolicies) std::printf("  %8s", rt::to_string(kind));
     std::printf("  %10s\n", "recovered");
     for (std::size_t ti = 0; ti < std::size(kThreadCounts); ++ti) {
-      const std::size_t threads = kThreadCounts[ti];
       double v[std::size(kPolicies)];
-      std::printf("%-6zu", threads);
+      std::printf("%-6zu", kThreadCounts[ti]);
       for (std::size_t pi = 0; pi < std::size(kPolicies); ++pi) {
-        v[pi] = bench::run_config(info, opts, bench::policy_of(kPolicies[pi]), threads)
-                    .speedup;
+        v[pi] = results[(wi * std::size(kThreadCounts) + ti) * std::size(kPolicies) +
+                        pi]
+                    .summary.speedup;
         std::printf("  %8.2f", v[pi]);
         geo[pi][ti].add(v[pi]);
       }
@@ -71,5 +81,7 @@ int main(int argc, char** argv) {
   std::printf(
       "\n('recovered' = share of the RTM->Oracle headroom that Seer attains\n"
       " without any precise feedback — the paper's central trade-off.)\n");
+
+  bench::write_json("oracle_gap", cells, results, opts);
   return 0;
 }

@@ -1,0 +1,165 @@
+#include "bench/runner.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+
+#include "htm/abort_code.hpp"
+#include "util/thread_pool.hpp"
+
+namespace seer::bench {
+
+CellResult run_cell(const Cell& cell, const Options& opts) {
+  CellResult out;
+  Summary& sum = out.summary;
+  util::RunningStats speedup;
+  double census_lt = 0.0;
+  double census_median = 0.0;
+  int census_runs = 0;
+  out.runs.reserve(static_cast<std::size_t>(opts.runs));
+  for (int r = 0; r < opts.runs; ++r) {
+    sim::MachineConfig cfg;
+    cfg.n_threads = cell.threads;
+    cfg.txs_per_thread = std::max<std::uint64_t>(
+        200, static_cast<std::uint64_t>(
+                 static_cast<double>(cell.info.bench_txs_per_thread) *
+                 opts.txs_scale));
+    cfg.policy = cell.policy;
+    cfg.seed = opts.base_seed + static_cast<std::uint64_t>(r) * 7919;
+    const sim::MachineStats s = sim::run_machine(
+        cfg, std::make_unique<stamp::SpecWorkload>(cell.info.spec(), cell.threads));
+
+    RunRecord rec;
+    rec.seed = cfg.seed;
+    rec.speedup = s.speedup();
+    rec.commits = s.commits;
+    rec.makespan = s.makespan;
+    rec.commits_per_mcycle =
+        s.makespan == 0 ? 0.0
+                        : 1e6 * static_cast<double>(s.commits) /
+                              static_cast<double>(s.makespan);
+    rec.aborts_by_cause = s.aborts_by_cause;
+    out.runs.push_back(rec);
+
+    speedup.add(s.speedup());
+    sum.sgl_fraction += s.mode_fraction(rt::CommitMode::kSglFallback);
+    sum.aux_fraction += s.mode_fraction(rt::CommitMode::kHtmAuxLock);
+    sum.sched_fraction += s.mode_fraction(rt::CommitMode::kHtmSchedLock);
+    sum.tx_fraction += s.mode_fraction(rt::CommitMode::kHtmTxLocks);
+    sum.core_fraction += s.mode_fraction(rt::CommitMode::kHtmCoreLock);
+    sum.tx_core_fraction += s.mode_fraction(rt::CommitMode::kHtmTxAndCore);
+    sum.no_lock_fraction += s.mode_fraction(rt::CommitMode::kHtmNoLocks);
+    sum.aborts_per_commit +=
+        s.commits > 0 ? static_cast<double>(s.aborts()) / static_cast<double>(s.commits)
+                      : 0.0;
+    sum.capacity_aborts += static_cast<double>(
+        s.aborts_by_cause[static_cast<std::size_t>(htm::AbortCause::kCapacity)]);
+    if (s.txlock_fraction.count() > 0) {
+      census_median += s.txlock_fraction.percentile(0.5);
+      // Estimate P(fraction < 0.23) by bisecting the percentile function
+      // (§5.2's "under 23% of the locks" share).
+      double lo = 0.0;
+      double hi = 1.0;
+      for (int it = 0; it < 20; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (s.txlock_fraction.percentile(mid) < 0.23) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      census_lt += 0.5 * (lo + hi);
+      ++census_runs;
+    }
+  }
+  const double n = static_cast<double>(opts.runs);
+  sum.speedup = speedup.mean();
+  sum.sgl_fraction /= n;
+  sum.aux_fraction /= n;
+  sum.sched_fraction /= n;
+  sum.tx_fraction /= n;
+  sum.core_fraction /= n;
+  sum.tx_core_fraction /= n;
+  sum.no_lock_fraction /= n;
+  sum.aborts_per_commit /= n;
+  sum.capacity_aborts /= n;
+  if (census_runs > 0) {
+    sum.txlock_median_fraction = census_median / census_runs;
+    sum.txlock_under_23pct = census_lt / census_runs;
+  }
+  return out;
+}
+
+std::vector<CellResult> run_cells(const std::vector<Cell>& cells,
+                                  const Options& opts) {
+  return util::parallel_for_indexed(
+      opts.effective_jobs(), cells.size(),
+      [&](std::size_t i) { return run_cell(cells[i], opts); });
+}
+
+Summary run_config(const stamp::WorkloadInfo& info, const Options& opts,
+                   rt::PolicyConfig policy, std::size_t threads) {
+  Cell cell;
+  cell.info = info;
+  cell.policy = policy;
+  cell.threads = threads;
+  return run_cell(cell, opts).summary;
+}
+
+void write_json(const std::string& exhibit, const std::vector<Cell>& cells,
+                const std::vector<CellResult>& results, const Options& opts) {
+  if (opts.json_path.empty()) return;
+  if (cells.size() != results.size()) {
+    throw std::logic_error("write_json: cells/results size mismatch");
+  }
+  std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
+  if (f == nullptr) {
+    // A CLI usage error, not a programming error: report and exit cleanly
+    // instead of letting the exception terminate() the bench binary.
+    std::fprintf(stderr, "cannot open --json path: %s\n", opts.json_path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"exhibit\": \"%s\",\n"
+               "  \"runs\": %d,\n"
+               "  \"txs_scale\": %g,\n"
+               "  \"base_seed\": %llu,\n"
+               "  \"results\": [\n",
+               exhibit.c_str(), opts.runs, opts.txs_scale,
+               static_cast<unsigned long long>(opts.base_seed));
+  bool first = true;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    const char* policy = cell.policy_label.empty()
+                             ? rt::to_string(cell.policy.kind)
+                             : cell.policy_label.c_str();
+    for (const RunRecord& r : results[i].runs) {
+      std::fprintf(
+          f,
+          "%s    {\"workload\": \"%s\", \"policy\": \"%s\", \"threads\": %zu, "
+          "\"seed\": %llu, \"speedup\": %.6f, \"commits\": %llu, "
+          "\"makespan_cycles\": %llu, \"commits_per_mcycle\": %.6f, "
+          "\"aborts\": {\"conflict\": %llu, \"capacity\": %llu, "
+          "\"explicit\": %llu, \"other\": %llu}}",
+          first ? "" : ",\n", cell.info.name.c_str(), policy, cell.threads,
+          static_cast<unsigned long long>(r.seed), r.speedup,
+          static_cast<unsigned long long>(r.commits),
+          static_cast<unsigned long long>(r.makespan), r.commits_per_mcycle,
+          static_cast<unsigned long long>(
+              r.aborts_by_cause[static_cast<std::size_t>(htm::AbortCause::kConflict)]),
+          static_cast<unsigned long long>(
+              r.aborts_by_cause[static_cast<std::size_t>(htm::AbortCause::kCapacity)]),
+          static_cast<unsigned long long>(
+              r.aborts_by_cause[static_cast<std::size_t>(htm::AbortCause::kExplicit)]),
+          static_cast<unsigned long long>(
+              r.aborts_by_cause[static_cast<std::size_t>(htm::AbortCause::kOther)]));
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace seer::bench

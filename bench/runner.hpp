@@ -1,0 +1,64 @@
+// Parallel evaluation runner.
+//
+// An exhibit (Figure 3, Table 3, ...) is a flat vector of Cells — one per
+// (workload, policy, thread-count) configuration. run_cells() fans them out
+// across a worker pool and returns results indexed exactly like the input,
+// so the printing code that follows is oblivious to how many workers ran.
+// Determinism argument: a cell's result depends only on (cell, Options) —
+// every simulator run builds its own Machine/PolicyShared/Workload from a
+// fixed seed and shares nothing mutable — so the result vector, and hence
+// the exhibit's output, is byte-identical for any --jobs value.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+
+namespace seer::bench {
+
+struct Cell {
+  stamp::WorkloadInfo info;
+  rt::PolicyConfig policy;
+  std::size_t threads = 8;
+  // Label used in --json output; defaults to to_string(policy.kind) when
+  // empty (variants like "Seer-profile-only" override it).
+  std::string policy_label;
+};
+
+// One simulator run (one seed) of one cell — the unit of the --json output.
+struct RunRecord {
+  std::uint64_t seed = 0;
+  double speedup = 0.0;
+  std::uint64_t commits = 0;
+  std::uint64_t makespan = 0;           // simulated cycles
+  double commits_per_mcycle = 0.0;      // commit throughput (per 1e6 cycles)
+  std::array<std::uint64_t, 4> aborts_by_cause{};  // indexed by AbortCause
+};
+
+struct CellResult {
+  Summary summary;
+  std::vector<RunRecord> runs;  // in seed order
+};
+
+// Runs one configuration over opts.runs seeds — the serial kernel.
+[[nodiscard]] CellResult run_cell(const Cell& cell, const Options& opts);
+
+// Runs every cell across opts.effective_jobs() workers; result i belongs to
+// cells[i]. Exceptions from a cell propagate (lowest index first).
+[[nodiscard]] std::vector<CellResult> run_cells(const std::vector<Cell>& cells,
+                                                const Options& opts);
+
+// One-off convenience used by tests and ad-hoc probes.
+[[nodiscard]] Summary run_config(const stamp::WorkloadInfo& info,
+                                 const Options& opts, rt::PolicyConfig policy,
+                                 std::size_t threads);
+
+// Writes opts.json_path (no-op when empty): an object with the harness
+// parameters and one record per (cell, seed), in cell order — the stable
+// format BENCH_*.json perf trajectories are tracked with across PRs.
+void write_json(const std::string& exhibit, const std::vector<Cell>& cells,
+                const std::vector<CellResult>& results, const Options& opts);
+
+}  // namespace seer::bench

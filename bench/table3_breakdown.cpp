@@ -8,13 +8,16 @@
 // it takes (the paper reports <23% of the locks in 50% of the cases).
 #include <cstdio>
 
-#include "bench/common.hpp"
+#include "bench/runner.hpp"
 
 namespace {
 
 using namespace seer;
 using bench::Options;
 
+constexpr rt::PolicyKind kPolicies[] = {rt::PolicyKind::kHle, rt::PolicyKind::kRtm,
+                                        rt::PolicyKind::kScm, rt::PolicyKind::kAts,
+                                        rt::PolicyKind::kSeer};
 constexpr std::size_t kThreadCounts[] = {2, 4, 6, 8};
 
 struct Row {
@@ -22,15 +25,17 @@ struct Row {
   double bench::Summary::* field;
 };
 
-void print_policy(const char* name, const Options& opts,
-                  const rt::PolicyConfig& policy,
-                  const std::vector<stamp::WorkloadInfo>& workloads,
+// Prints one policy's block from the precomputed result slice: results for
+// policy pi live at index ((pi * |tc| + ti) * |workloads| + wi).
+void print_policy(const char* name, std::size_t pi,
+                  const std::vector<bench::CellResult>& results,
+                  std::size_t n_workloads, bool census,
                   std::initializer_list<Row> rows) {
   bench::Summary avg[std::size(kThreadCounts)];
   for (std::size_t ti = 0; ti < std::size(kThreadCounts); ++ti) {
-    for (const auto& info : workloads) {
-      const bench::Summary s =
-          bench::run_config(info, opts, policy, kThreadCounts[ti]);
+    for (std::size_t wi = 0; wi < n_workloads; ++wi) {
+      const bench::Summary& s =
+          results[(pi * std::size(kThreadCounts) + ti) * n_workloads + wi].summary;
       avg[ti].no_lock_fraction += s.no_lock_fraction;
       avg[ti].aux_fraction += s.aux_fraction;
       avg[ti].sched_fraction += s.sched_fraction;
@@ -41,7 +46,7 @@ void print_policy(const char* name, const Options& opts,
       avg[ti].txlock_median_fraction += s.txlock_median_fraction;
       avg[ti].txlock_under_23pct += s.txlock_under_23pct;
     }
-    const auto n = static_cast<double>(workloads.size());
+    const auto n = static_cast<double>(n_workloads);
     avg[ti].no_lock_fraction /= n;
     avg[ti].aux_fraction /= n;
     avg[ti].sched_fraction /= n;
@@ -61,7 +66,7 @@ void print_policy(const char* name, const Options& opts,
     }
     std::printf("\n");
   }
-  if (policy.kind == rt::PolicyKind::kSeer) {
+  if (census) {
     std::printf("  %-24s", "[census] median tx-lock %");
     for (std::size_t ti = 0; ti < std::size(kThreadCounts); ++ti) {
       std::printf("  %5.1f", 100.0 * avg[ti].txlock_median_fraction);
@@ -81,31 +86,41 @@ int main(int argc, char** argv) {
   const Options opts = Options::parse(argc, argv);
   const auto workloads = opts.selected();
 
+  std::vector<bench::Cell> cells;
+  for (auto kind : kPolicies) {
+    for (std::size_t threads : kThreadCounts) {
+      for (const auto& info : workloads) {
+        cells.push_back({info, bench::policy_of(kind), threads, {}});
+      }
+    }
+  }
+  const auto results = bench::run_cells(cells, opts);
+
   std::printf("=== Table 3: %% of transaction modes, averaged across STAMP ===\n");
   std::printf("%-26s", "Variant / Mode");
   for (std::size_t t : kThreadCounts) std::printf("  %4zut", t);
   std::printf("\n\n");
 
-  print_policy("HLE", opts, bench::policy_of(rt::PolicyKind::kHle), workloads,
+  const std::size_t nw = workloads.size();
+  print_policy("HLE", 0, results, nw, false,
                {{"HTM no locks", &bench::Summary::no_lock_fraction},
                 {"SGL fall-back", &bench::Summary::sgl_fraction}});
 
-  print_policy("RTM", opts, bench::policy_of(rt::PolicyKind::kRtm), workloads,
+  print_policy("RTM", 1, results, nw, false,
                {{"HTM no locks", &bench::Summary::no_lock_fraction},
                 {"SGL fall-back", &bench::Summary::sgl_fraction}});
 
-  print_policy("SCM", opts, bench::policy_of(rt::PolicyKind::kScm), workloads,
+  print_policy("SCM", 2, results, nw, false,
                {{"HTM no locks", &bench::Summary::no_lock_fraction},
                 {"HTM + Aux lock", &bench::Summary::aux_fraction},
                 {"SGL fall-back", &bench::Summary::sgl_fraction}});
 
-  print_policy("ATS (extra baseline)", opts, bench::policy_of(rt::PolicyKind::kAts),
-               workloads,
+  print_policy("ATS (extra baseline)", 3, results, nw, false,
                {{"HTM no locks", &bench::Summary::no_lock_fraction},
                 {"HTM + Sched lock", &bench::Summary::sched_fraction},
                 {"SGL fall-back", &bench::Summary::sgl_fraction}});
 
-  print_policy("Seer", opts, bench::policy_of(rt::PolicyKind::kSeer), workloads,
+  print_policy("Seer", 4, results, nw, true,
                {{"HTM no locks", &bench::Summary::no_lock_fraction},
                 {"HTM + Tx Locks", &bench::Summary::tx_fraction},
                 {"HTM + Core Locks", &bench::Summary::core_fraction},
@@ -115,5 +130,7 @@ int main(int argc, char** argv) {
   std::printf(
       "paper reference @8t: HLE 23/77, RTM 63/37, SCM 66/29/5,\n"
       "                     Seer 80/3/4/12/1 (no-locks/tx/core/tx+core/SGL)\n");
+
+  bench::write_json("table3_breakdown", cells, results, opts);
   return 0;
 }

@@ -8,8 +8,24 @@
 // the one thread that periodically merges them (Alg. 5 prologue) — relaxed
 // atomics make that single-writer pattern well-defined without imposing any
 // ordering cost on the hot path.
+//
+// Layout: the two matrices, the execution vector and the bookkeeping
+// counters live in ONE contiguous cache-line-aligned allocation per thread
+// (2·n² + n + 2 counters, padded to whole lines). One slab, one stream of
+// lines per recording thread — no per-vector headers interleaved with other
+// threads' data, no false sharing between slabs.
+//
+// Sampling: with `sample_period` k > 1 only every k-th recorded event pays
+// for the execution bump and the active-table scan; the merge step scales
+// the sampled counters back up by k. The inference consumes only count
+// *ratios* (the paper's statistics tolerate imprecision by design — §4), so
+// systematic 1-in-k sampling leaves the probabilities asymptotically
+// unbiased while cutting the instrumentation cost k-fold. The raw event and
+// commit tallies used for rebuild cadence and throughput feedback are NOT
+// sampled — they are single-counter bumps and stay exact.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
@@ -17,6 +33,7 @@
 
 #include "core/active_tx_table.hpp"
 #include "core/types.hpp"
+#include "util/cacheline.hpp"
 
 namespace seer::core {
 
@@ -32,6 +49,13 @@ struct GlobalStats {
         aborts(types * types, 0),
         commits(types * types, 0),
         executions(types, 0) {}
+
+  // Zeroes every counter without touching capacity (allocation-free reuse).
+  void reset() noexcept {
+    std::fill(aborts.begin(), aborts.end(), 0);
+    std::fill(commits.begin(), commits.end(), 0);
+    std::fill(executions.begin(), executions.end(), 0);
+  }
 
   [[nodiscard]] std::uint64_t abort(TxTypeId x, TxTypeId y) const noexcept {
     return aborts[idx(x, y)];
@@ -54,50 +78,76 @@ struct GlobalStats {
 
 class ThreadStats {
  public:
-  explicit ThreadStats(std::size_t n_types)
+  explicit ThreadStats(std::size_t n_types, std::uint32_t sample_period = 1)
       : n_types_(n_types),
-        aborts_(n_types * n_types),
-        commits_(n_types * n_types),
-        executions_(n_types) {}
+        cells_(n_types * n_types),
+        sample_period_(sample_period == 0 ? 1 : sample_period),
+        until_sample_(1),
+        slab_(util::make_cache_aligned_slab<Counter>(2 * cells_ + n_types + 2)) {}
 
   // Alg. 3 lines 33-37. `self` is the slot of the recording thread, which is
   // skipped when scanning (a transaction is not concurrent with itself).
   void record_abort(TxTypeId tx, ThreadId self, const ActiveTxTable& active) noexcept {
-    bump(executions_[static_cast<std::size_t>(tx)]);
-    scan(tx, self, active, aborts_);
+    bump(slab_[kRawEvents + 2 * cells_ + n_types_]);
+    if (--until_sample_ > 0) return;
+    until_sample_ = sample_period_;
+    bump(slab_[2 * cells_ + static_cast<std::size_t>(tx)]);
+    scan(tx, self, active, /*matrix=*/&slab_[0]);
   }
 
   // Alg. 3 lines 38-42.
   void record_commit(TxTypeId tx, ThreadId self, const ActiveTxTable& active) noexcept {
-    bump(executions_[static_cast<std::size_t>(tx)]);
-    scan(tx, self, active, commits_);
+    bump(slab_[kRawEvents + 2 * cells_ + n_types_]);
+    bump(slab_[kRawCommits + 2 * cells_ + n_types_]);
+    if (--until_sample_ > 0) return;
+    until_sample_ = sample_period_;
+    bump(slab_[2 * cells_ + static_cast<std::size_t>(tx)]);
+    scan(tx, self, active, /*matrix=*/&slab_[cells_]);
   }
 
-  // Adds this slab into `out` (Alg. 5: periodic merge across per-core
-  // matrices). Safe to run concurrently with the owner thread recording.
+  // Adds this slab into `out`, scaling sampled counters back to event units
+  // (Alg. 5: periodic merge across per-core matrices). Safe to run
+  // concurrently with the owner thread recording.
   void merge_into(GlobalStats& out) const noexcept {
     assert(out.n_types == n_types_);
-    for (std::size_t i = 0; i < aborts_.size(); ++i) {
-      out.aborts[i] += aborts_[i].load(std::memory_order_relaxed);
-      out.commits[i] += commits_[i].load(std::memory_order_relaxed);
+    const std::uint64_t k = sample_period_;
+    for (std::size_t i = 0; i < cells_; ++i) {
+      out.aborts[i] += slab_[i].load(std::memory_order_relaxed) * k;
+      out.commits[i] += slab_[cells_ + i].load(std::memory_order_relaxed) * k;
     }
     for (std::size_t t = 0; t < n_types_; ++t) {
-      out.executions[t] += executions_[t].load(std::memory_order_relaxed);
+      out.executions[t] += slab_[2 * cells_ + t].load(std::memory_order_relaxed) * k;
     }
   }
 
   [[nodiscard]] std::size_t n_types() const noexcept { return n_types_; }
+  [[nodiscard]] std::uint32_t sample_period() const noexcept { return sample_period_; }
 
-  // Test hooks.
+  // Exact (unsampled) tallies: every recorded event / every recorded commit.
+  // Single-writer counters like the rest of the slab; used for the rebuild
+  // cadence and the hill climber's throughput signal, which must not drift
+  // with the sampling rate.
+  [[nodiscard]] std::uint64_t raw_events() const noexcept {
+    return slab_[kRawEvents + 2 * cells_ + n_types_].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t raw_commits() const noexcept {
+    return slab_[kRawCommits + 2 * cells_ + n_types_].load(std::memory_order_relaxed);
+  }
+
+  // Test hooks (unscaled, as physically recorded).
   [[nodiscard]] std::uint64_t abort_cell(TxTypeId x, TxTypeId y) const noexcept {
-    return cell(aborts_, x, y);
+    return slab_[cell_idx(x, y)].load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t commit_cell(TxTypeId x, TxTypeId y) const noexcept {
-    return cell(commits_, x, y);
+    return slab_[cells_ + cell_idx(x, y)].load(std::memory_order_relaxed);
   }
 
  private:
   using Counter = std::atomic<std::uint64_t>;
+
+  // Offsets of the bookkeeping counters relative to 2·cells_ + n_types_.
+  static constexpr std::size_t kRawEvents = 0;
+  static constexpr std::size_t kRawCommits = 1;
 
   static void bump(Counter& c) noexcept {
     // Single-writer counter: a plain load+store beats a locked RMW.
@@ -105,26 +155,27 @@ class ThreadStats {
   }
 
   void scan(TxTypeId tx, ThreadId self, const ActiveTxTable& active,
-            std::vector<Counter>& matrix) noexcept {
-    const auto row = static_cast<std::size_t>(tx) * n_types_;
+            Counter* matrix) noexcept {
+    Counter* row = matrix + static_cast<std::size_t>(tx) * n_types_;
     for (ThreadId i = 0; i < active.size(); ++i) {
       if (i == self) continue;
       const TxTypeId other = active.peek(i);
       if (other == kNoTx) continue;
-      bump(matrix[row + static_cast<std::size_t>(other)]);
+      bump(row[static_cast<std::size_t>(other)]);
     }
   }
 
-  [[nodiscard]] std::uint64_t cell(const std::vector<Counter>& m, TxTypeId x,
-                                   TxTypeId y) const noexcept {
-    return m[static_cast<std::size_t>(x) * n_types_ + static_cast<std::size_t>(y)].load(
-        std::memory_order_relaxed);
+  [[nodiscard]] std::size_t cell_idx(TxTypeId x, TxTypeId y) const noexcept {
+    return static_cast<std::size_t>(x) * n_types_ + static_cast<std::size_t>(y);
   }
 
   std::size_t n_types_;
-  std::vector<Counter> aborts_;
-  std::vector<Counter> commits_;
-  std::vector<Counter> executions_;
+  std::size_t cells_;  // n_types_^2, size of each matrix
+  std::uint32_t sample_period_;
+  std::uint32_t until_sample_;  // owner-thread-only countdown to next sample
+  // [0, cells_): aborts   [cells_, 2·cells_): commits
+  // [2·cells_, +n_types_): executions   then raw events, raw commits.
+  util::CacheAlignedSlab<Counter> slab_;
 };
 
 }  // namespace seer::core

@@ -5,17 +5,28 @@ namespace seer::core {
 SeerScheduler::SeerScheduler(const SeerConfig& cfg)
     : cfg_(cfg),
       active_(cfg.n_threads),
-      commit_counts_(cfg.n_threads),
       scheme_(std::make_shared<LockScheme>(cfg.n_types)),
       params_(cfg.initial_params),
       climber_(HillClimberConfig{.initial_x = cfg.initial_params.th1,
                                  .initial_y = cfg.initial_params.th2,
-                                 .seed = cfg.seed}) {
+                                 .seed = cfg.seed}),
+      merge_bufs_{GlobalStats(cfg.n_types), GlobalStats(cfg.n_types)},
+      decay_snapshot_(cfg.n_types) {
   slabs_.reserve(cfg.n_threads);
   for (std::size_t t = 0; t < cfg.n_threads; ++t) {
-    slabs_.push_back(std::make_unique<ThreadStats>(cfg.n_types));
+    slabs_.push_back(
+        std::make_unique<ThreadStats>(cfg.n_types, cfg.stats_sample_period));
   }
-  for (auto& c : commit_counts_) c.value.store(0, std::memory_order_relaxed);
+  if (cfg_.stats_decay < 1.0) {
+    decayed_aborts_.assign(cfg.n_types * cfg.n_types, 0.0);
+    decayed_commits_.assign(cfg.n_types * cfg.n_types, 0.0);
+    decayed_execs_.assign(cfg.n_types, 0.0);
+  }
+}
+
+void SeerScheduler::merge_slabs_into(GlobalStats& out) const noexcept {
+  out.reset();
+  for (const auto& slab : slabs_) slab->merge_into(out);
 }
 
 GlobalStats SeerScheduler::merged_stats() const {
@@ -26,15 +37,19 @@ GlobalStats SeerScheduler::merged_stats() const {
 
 std::uint64_t SeerScheduler::total_commits() const noexcept {
   std::uint64_t total = 0;
-  for (const auto& c : commit_counts_) {
-    total += c.value.load(std::memory_order_relaxed);
-  }
+  for (const auto& slab : slabs_) total += slab->raw_commits();
+  return total;
+}
+
+std::uint64_t SeerScheduler::executions_seen() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& slab : slabs_) total += slab->raw_events();
   return total;
 }
 
 bool SeerScheduler::maybe_update(ThreadId thread, std::uint64_t now) {
   if (thread != 0) return false;  // single designated maintainer — no locks
-  const std::uint64_t seen = executions_seen_.load(std::memory_order_relaxed);
+  const std::uint64_t seen = executions_seen();
   if (seen - executions_at_last_rebuild_ < cfg_.update_period) return false;
   executions_at_last_rebuild_ = seen;
   rebuild(now);
@@ -65,41 +80,39 @@ void SeerScheduler::rebuild(std::uint64_t now) {
     rebuilds_at_last_epoch_ = rebuilds_;
   }
 
-  GlobalStats merged = merged_stats();
+  // Merge into the scratch buffer that does NOT hold the previous rebuild's
+  // totals; the other buffer IS the previous snapshot, so the decay path
+  // reads its delta directly instead of copying lifetime totals around.
+  GlobalStats& merged = merge_bufs_[cur_buf_];
+  merge_slabs_into(merged);
+
+  const GlobalStats* inference_input = &merged;
   if (cfg_.stats_decay < 1.0) {
+    const GlobalStats& prev = merge_bufs_[1 - cur_buf_];
     // Fold the delta since the previous rebuild into exponentially decayed
     // accumulators, then hand the inference a rounded snapshot of those.
-    if (decayed_aborts_.empty()) {
-      last_merged_ = GlobalStats(cfg_.n_types);
-      decayed_aborts_.assign(merged.aborts.size(), 0.0);
-      decayed_commits_.assign(merged.commits.size(), 0.0);
-      decayed_execs_.assign(merged.executions.size(), 0.0);
-    }
     const double d = cfg_.stats_decay;
     for (std::size_t i = 0; i < merged.aborts.size(); ++i) {
       decayed_aborts_[i] =
           decayed_aborts_[i] * d +
-          static_cast<double>(merged.aborts[i] - last_merged_.aborts[i]);
+          static_cast<double>(merged.aborts[i] - prev.aborts[i]);
       decayed_commits_[i] =
           decayed_commits_[i] * d +
-          static_cast<double>(merged.commits[i] - last_merged_.commits[i]);
+          static_cast<double>(merged.commits[i] - prev.commits[i]);
+      decay_snapshot_.aborts[i] = static_cast<std::uint64_t>(decayed_aborts_[i]);
+      decay_snapshot_.commits[i] = static_cast<std::uint64_t>(decayed_commits_[i]);
     }
     for (std::size_t t = 0; t < merged.executions.size(); ++t) {
       decayed_execs_[t] =
           decayed_execs_[t] * d +
-          static_cast<double>(merged.executions[t] - last_merged_.executions[t]);
+          static_cast<double>(merged.executions[t] - prev.executions[t]);
+      decay_snapshot_.executions[t] = static_cast<std::uint64_t>(decayed_execs_[t]);
     }
-    last_merged_ = merged;
-    for (std::size_t i = 0; i < merged.aborts.size(); ++i) {
-      merged.aborts[i] = static_cast<std::uint64_t>(decayed_aborts_[i]);
-      merged.commits[i] = static_cast<std::uint64_t>(decayed_commits_[i]);
-    }
-    for (std::size_t t = 0; t < merged.executions.size(); ++t) {
-      merged.executions[t] = static_cast<std::uint64_t>(decayed_execs_[t]);
-    }
+    inference_input = &decay_snapshot_;
   }
+  cur_buf_ = 1 - cur_buf_;
 
-  auto next = build_lock_scheme(merged, params_);
+  auto next = build_lock_scheme(*inference_input, params_);
   std::atomic_store_explicit(&scheme_, std::move(next), std::memory_order_release);
 }
 

@@ -59,6 +59,13 @@ struct SeerConfig {
   // uniform sampling leaves the probabilities unbiased while cutting the
   // instrumentation cost proportionally. 0 = record everything (paper).
   std::uint32_t sampling_shift = 0;
+  // Deterministic counterpart living INSIDE the statistics slabs: each
+  // thread records only every k-th of its commit/abort events (execution
+  // bump + active-table scan) and the merge scales the sampled counters by
+  // k. Unlike sampling_shift this needs no per-event RNG draw, keeps the
+  // rebuild cadence and throughput feedback exact (raw tallies are never
+  // sampled), and is reproducible run-to-run. 0 or 1 = record everything.
+  std::uint32_t stats_sample_period = 1;
   // Exponential decay of the merged statistics between rebuilds, so the
   // scheme tracks time-varying workloads (phased benchmarks) instead of
   // being dominated by stale history. 1.0 = pure accumulation (paper).
@@ -77,19 +84,18 @@ class SeerScheduler {
   void announce(ThreadId thread, TxTypeId tx) noexcept { active_.announce(thread, tx); }
   void clear(ThreadId thread) noexcept { active_.clear(thread); }
 
+  // The per-thread slab carries ALL the event bookkeeping (matrices,
+  // executions, raw tallies) in one contiguous allocation: a record touches
+  // only lines this thread owns — no shared execution counter, no separate
+  // commit-count array. Aborts are executions too (Alg. 3 line 34): the
+  // rebuild cadence advances even in fallback-heavy phases where commits
+  // are scarce, otherwise the scheduler could never learn its way out of
+  // them.
   void record_abort(ThreadId thread, TxTypeId tx) noexcept {
     slabs_[thread]->record_abort(tx, thread, active_);
-    // Aborts are executions too (Alg. 3 line 34): the rebuild cadence must
-    // advance even in fallback-heavy phases where commits are scarce,
-    // otherwise the scheduler could never learn its way out of them.
-    executions_seen_.fetch_add(1, std::memory_order_relaxed);
   }
   void record_commit(ThreadId thread, TxTypeId tx) noexcept {
     slabs_[thread]->record_commit(tx, thread, active_);
-    commit_counts_[thread].value.store(
-        commit_counts_[thread].value.load(std::memory_order_relaxed) + 1,
-        std::memory_order_relaxed);
-    executions_seen_.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Current locking scheme; lock-free snapshot (scheme swaps use the
@@ -116,27 +122,35 @@ class SeerScheduler {
   [[nodiscard]] const ActiveTxTable& active_table() const noexcept { return active_; }
   [[nodiscard]] GlobalStats merged_stats() const;
   [[nodiscard]] std::uint64_t total_commits() const noexcept;
+  [[nodiscard]] std::uint64_t executions_seen() const noexcept;
 
  private:
   void rebuild(std::uint64_t now);
+  void merge_slabs_into(GlobalStats& out) const noexcept;
 
   SeerConfig cfg_;
   ActiveTxTable active_;
   std::vector<std::unique_ptr<ThreadStats>> slabs_;
-  std::vector<util::Padded<std::atomic<std::uint64_t>>> commit_counts_;
 
   std::shared_ptr<const LockScheme> scheme_;
   InferenceParams params_;
   HillClimber climber_;
 
-  // Decay extension state: lifetime totals at the previous rebuild and the
-  // decayed accumulator the scheme is built from (when stats_decay < 1).
-  GlobalStats last_merged_;
+  // Rebuild scratch, sized once in the constructor and reused every period
+  // (the maintenance path is allocation-free apart from the scheme object
+  // it publishes). merge_bufs_ double-buffers the merged lifetime totals:
+  // the current rebuild merges into one buffer while the other still holds
+  // the previous rebuild's totals, which is exactly the delta the decay
+  // extension needs — no copying of a `last_merged_` snapshot.
+  GlobalStats merge_bufs_[2];
+  std::size_t cur_buf_ = 0;
+  // Decay extension state (when stats_decay < 1): exponentially decayed
+  // accumulators and the rounded snapshot handed to the inference.
+  GlobalStats decay_snapshot_;
   std::vector<double> decayed_aborts_;
   std::vector<double> decayed_commits_;
   std::vector<double> decayed_execs_;
 
-  std::atomic<std::uint64_t> executions_seen_{0};
   std::uint64_t executions_at_last_rebuild_ = 0;
   std::uint64_t rebuilds_ = 0;
   std::uint64_t rebuilds_at_last_epoch_ = 0;

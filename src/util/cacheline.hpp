@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <new>
+#include <type_traits>
 
 namespace seer::util {
 
@@ -32,5 +34,32 @@ struct alignas(kCacheLineBytes) Padded {
 
 static_assert(alignof(Padded<char>) == kCacheLineBytes);
 static_assert(sizeof(Padded<char>) % kCacheLineBytes == 0);
+
+// A heap array that starts on a cache-line boundary and occupies a whole
+// number of lines, so two slabs owned by different threads can never share a
+// line no matter where the allocator places them. Elements are
+// value-initialized. Restricted to trivially destructible types (counters),
+// which keeps deallocation a plain aligned delete.
+template <typename T>
+struct AlignedSlabDeleter {
+  void operator()(T* p) const noexcept {
+    ::operator delete(static_cast<void*>(p), std::align_val_t{kCacheLineBytes});
+  }
+};
+
+template <typename T>
+using CacheAlignedSlab = std::unique_ptr<T[], AlignedSlabDeleter<T>>;
+
+template <typename T>
+[[nodiscard]] CacheAlignedSlab<T> make_cache_aligned_slab(std::size_t n) {
+  static_assert(std::is_trivially_destructible_v<T>);
+  static_assert(alignof(T) <= kCacheLineBytes);
+  std::size_t bytes = n * sizeof(T);
+  bytes = (bytes + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
+  void* raw = ::operator new(bytes, std::align_val_t{kCacheLineBytes});
+  T* first = static_cast<T*>(raw);
+  for (std::size_t i = 0; i < n; ++i) new (first + i) T();
+  return CacheAlignedSlab<T>(first);
+}
 
 }  // namespace seer::util

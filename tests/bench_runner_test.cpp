@@ -1,0 +1,128 @@
+// Tests for the parallel bench harness: the sweep's results must be
+// invariant under --jobs (the whole determinism argument of the parallel
+// evaluation layer), and --json must emit one well-formed record per
+// (cell, seed).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/runner.hpp"
+
+namespace seer::bench {
+namespace {
+
+Options tiny_options() {
+  Options opts;
+  opts.runs = 2;
+  opts.txs_scale = 0.02;  // floors at 200 txs/thread — seconds, not minutes
+  opts.base_seed = 4242;
+  return opts;
+}
+
+// A small Figure-3 slice: one workload, two policies, two thread counts.
+std::vector<Cell> fig3_slice() {
+  stamp::WorkloadInfo genome;
+  for (const auto& info : stamp::all_workloads()) {
+    if (info.name == "genome") genome = info;
+  }
+  std::vector<Cell> cells;
+  for (std::size_t threads : {2u, 4u}) {
+    for (auto kind : {rt::PolicyKind::kRtm, rt::PolicyKind::kSeer}) {
+      cells.push_back({genome, policy_of(kind), threads, {}});
+    }
+  }
+  return cells;
+}
+
+void expect_identical(const CellResult& a, const CellResult& b, std::size_t i) {
+  EXPECT_EQ(a.summary.speedup, b.summary.speedup) << "cell " << i;
+  EXPECT_EQ(a.summary.sgl_fraction, b.summary.sgl_fraction) << "cell " << i;
+  EXPECT_EQ(a.summary.no_lock_fraction, b.summary.no_lock_fraction) << "cell " << i;
+  EXPECT_EQ(a.summary.tx_fraction, b.summary.tx_fraction) << "cell " << i;
+  EXPECT_EQ(a.summary.aborts_per_commit, b.summary.aborts_per_commit) << "cell " << i;
+  EXPECT_EQ(a.summary.capacity_aborts, b.summary.capacity_aborts) << "cell " << i;
+  ASSERT_EQ(a.runs.size(), b.runs.size()) << "cell " << i;
+  for (std::size_t r = 0; r < a.runs.size(); ++r) {
+    EXPECT_EQ(a.runs[r].seed, b.runs[r].seed);
+    EXPECT_EQ(a.runs[r].speedup, b.runs[r].speedup);
+    EXPECT_EQ(a.runs[r].commits, b.runs[r].commits);
+    EXPECT_EQ(a.runs[r].makespan, b.runs[r].makespan);
+    EXPECT_EQ(a.runs[r].aborts_by_cause, b.runs[r].aborts_by_cause);
+  }
+}
+
+TEST(BenchRunner, JobsCountDoesNotChangeResults) {
+  const std::vector<Cell> cells = fig3_slice();
+
+  Options serial = tiny_options();
+  serial.jobs = 1;
+  const auto base = run_cells(cells, serial);
+  ASSERT_EQ(base.size(), cells.size());
+
+  Options pooled = tiny_options();
+  pooled.jobs = 8;
+  const auto par = run_cells(cells, pooled);
+  ASSERT_EQ(par.size(), cells.size());
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    expect_identical(base[i], par[i], i);
+  }
+}
+
+TEST(BenchRunner, RunRecordsCarryThroughput) {
+  Options opts = tiny_options();
+  opts.jobs = 2;
+  const auto results = run_cells(fig3_slice(), opts);
+  for (const auto& cell : results) {
+    ASSERT_EQ(cell.runs.size(), 2u);
+    for (const auto& r : cell.runs) {
+      EXPECT_GT(r.commits, 0u);
+      EXPECT_GT(r.makespan, 0u);
+      EXPECT_GT(r.commits_per_mcycle, 0.0);
+      EXPECT_GT(r.speedup, 0.0);
+    }
+  }
+}
+
+TEST(BenchRunner, WriteJsonEmitsOneRecordPerCellAndSeed) {
+  const std::vector<Cell> cells = fig3_slice();
+  Options opts = tiny_options();
+  opts.jobs = 4;
+  opts.json_path = ::testing::TempDir() + "bench_runner_test.json";
+  const auto results = run_cells(cells, opts);
+  write_json("fig3_slice", cells, results, opts);
+
+  std::ifstream in(opts.json_path);
+  ASSERT_TRUE(in.good()) << opts.json_path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+
+  EXPECT_NE(json.find("\"exhibit\": \"fig3_slice\""), std::string::npos);
+  EXPECT_NE(json.find("\"workload\": \"genome\""), std::string::npos);
+  EXPECT_NE(json.find("\"policy\": \"RTM\""), std::string::npos);
+  EXPECT_NE(json.find("\"policy\": \"Seer\""), std::string::npos);
+  EXPECT_NE(json.find("\"commits_per_mcycle\""), std::string::npos);
+  EXPECT_NE(json.find("\"capacity\""), std::string::npos);
+
+  std::size_t records = 0;
+  for (std::size_t pos = json.find("\"seed\""); pos != std::string::npos;
+       pos = json.find("\"seed\"", pos + 1)) {
+    ++records;
+  }
+  EXPECT_EQ(records, cells.size() * static_cast<std::size_t>(opts.runs));
+  std::remove(opts.json_path.c_str());
+}
+
+TEST(BenchRunner, EmptyJsonPathIsNoOp) {
+  const std::vector<Cell> cells;
+  const std::vector<CellResult> results;
+  Options opts = tiny_options();
+  EXPECT_NO_THROW(write_json("noop", cells, results, opts));
+}
+
+}  // namespace
+}  // namespace seer::bench

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "core/active_tx_table.hpp"
 #include "core/conflict_stats.hpp"
@@ -12,6 +13,7 @@
 #include "core/lock_scheme.hpp"
 #include "core/probability.hpp"
 #include "core/seer_scheduler.hpp"
+#include "util/rng.hpp"
 
 namespace seer::core {
 namespace {
@@ -98,6 +100,67 @@ TEST(ThreadStats, MergeSumsAcrossSlabs) {
   EXPECT_EQ(g.commit(0, 0), 1u);
   EXPECT_EQ(g.execs(0), 3u);
   EXPECT_EQ(g.total_executions(), 3u);
+}
+
+TEST(ThreadStats, SampledMergeScalesBackToEventUnits) {
+  ActiveTxTable active(2);
+  active.announce(1, 1);
+  ThreadStats stats(2, /*sample_period=*/4);
+  for (int i = 0; i < 8; ++i) stats.record_commit(0, 0, active);
+  // Events 1 and 5 are the sampled ones (the countdown starts hot so short
+  // runs still record); the merge scales the 2 physical bumps back to 8.
+  EXPECT_EQ(stats.commit_cell(0, 1), 2u);
+  GlobalStats g(2);
+  stats.merge_into(g);
+  EXPECT_EQ(g.commit(0, 1), 8u);
+  EXPECT_EQ(g.execs(0), 8u);
+  // Raw tallies are exact regardless of the sampling period.
+  EXPECT_EQ(stats.raw_events(), 8u);
+  EXPECT_EQ(stats.raw_commits(), 8u);
+}
+
+TEST(ThreadStats, SampledMergeConvergesToUnsampled) {
+  // Satellite check for the stats_sample_period extension: on a synthetic
+  // workload the scaled sampled matrix must converge to the unsampled one.
+  constexpr std::size_t kTypes = 4;
+  constexpr std::uint32_t kPeriod = 8;
+  ActiveTxTable active(4);
+  ThreadStats exact(kTypes, 1);
+  ThreadStats sampled(kTypes, kPeriod);
+  util::Xoshiro256 rng(2024);
+  for (int i = 0; i < 64000; ++i) {
+    // Re-announce the two concurrent peers now and then, abort ~25% of the
+    // time — both slabs see the IDENTICAL event stream.
+    if (i % 7 == 0) {
+      active.announce(1, static_cast<TxTypeId>(rng.below(kTypes)));
+      active.announce(2, static_cast<TxTypeId>(rng.below(kTypes)));
+    }
+    const auto tx = static_cast<TxTypeId>(rng.below(kTypes));
+    if (rng.below(4) == 0) {
+      exact.record_abort(tx, 0, active);
+      sampled.record_abort(tx, 0, active);
+    } else {
+      exact.record_commit(tx, 0, active);
+      sampled.record_commit(tx, 0, active);
+    }
+  }
+  GlobalStats ge(kTypes);
+  GlobalStats gs(kTypes);
+  exact.merge_into(ge);
+  sampled.merge_into(gs);
+  EXPECT_EQ(exact.raw_events(), sampled.raw_events());
+  for (TxTypeId x = 0; x < static_cast<TxTypeId>(kTypes); ++x) {
+    // ~16k executions per type; systematic 1-in-8 sampling stays well
+    // within 10% on every aggregate the inference consumes.
+    EXPECT_NEAR(static_cast<double>(gs.execs(x)), static_cast<double>(ge.execs(x)),
+                0.10 * static_cast<double>(ge.execs(x)));
+    for (TxTypeId y = 0; y < static_cast<TxTypeId>(kTypes); ++y) {
+      const double e = static_cast<double>(ge.abort(x, y) + ge.commit(x, y));
+      const double s = static_cast<double>(gs.abort(x, y) + gs.commit(x, y));
+      if (e < 500.0) continue;  // skip cells without statistical mass
+      EXPECT_NEAR(s, e, 0.15 * e) << "cell (" << int(x) << "," << int(y) << ")";
+    }
+  }
 }
 
 // -------------------------------------------------- ProbabilityModel -------
@@ -424,6 +487,46 @@ TEST(SeerScheduler, SchemeSwapsAfterRebuildWithEvidence) {
   EXPECT_TRUE(scheme->row(0).contains(1));
   EXPECT_TRUE(scheme->row(1).contains(0));
   EXPECT_FALSE(scheme->row(0).contains(2));
+}
+
+TEST(SeerScheduler, SampledStatsReachSameSchemeOnStrongSignal) {
+  SeerConfig base = small_config();
+  base.enable_hill_climbing = false;
+  base.initial_params = InferenceParams{.th1 = 0.05, .th2 = 0.6};
+  SeerConfig sampled_cfg = base;
+  sampled_cfg.stats_sample_period = 8;
+  SeerScheduler exact(base);
+  SeerScheduler sampled(sampled_cfg);
+
+  // The SchemeSwapsAfterRebuildWithEvidence workload, scaled x8 so the 1-in-8
+  // sampler sees enough physical events in every phase.
+  auto drive = [](SeerScheduler& s) {
+    s.announce(1, 1);
+    for (int i = 0; i < 90 * 8; ++i) s.record_abort(0, 0);
+    for (int i = 0; i < 10 * 8; ++i) s.record_commit(0, 0);
+    s.clear(1);
+    s.announce(1, 2);
+    for (int i = 0; i < 5 * 8; ++i) s.record_abort(0, 0);
+    for (int i = 0; i < 95 * 8; ++i) s.record_commit(0, 0);
+    s.clear(1);
+    s.force_update(1234);
+  };
+  drive(exact);
+  drive(sampled);
+
+  // Raw (unsampled) tallies stay exact, so rebuild cadence is unaffected.
+  EXPECT_EQ(sampled.total_commits(), exact.total_commits());
+  EXPECT_EQ(sampled.executions_seen(), exact.executions_seen());
+
+  const auto se = exact.scheme();
+  const auto ss = sampled.scheme();
+  for (TxTypeId x = 0; x < 3; ++x) {
+    for (TxTypeId y = 0; y < 3; ++y) {
+      EXPECT_EQ(ss->row(x).contains(y), se->row(x).contains(y))
+          << "(" << int(x) << "," << int(y) << ")";
+    }
+  }
+  EXPECT_TRUE(ss->row(0).contains(1));
 }
 
 TEST(SeerScheduler, HillClimberAdvancesWithEpochs) {

@@ -1,0 +1,111 @@
+// Tests for the evaluation harness's worker pool: deterministic by-index
+// result collection, exception propagation, and drain-on-destruction — the
+// properties that make fanning the benchmark sweep out across cores safe.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "util/thread_pool.hpp"
+
+namespace seer::util {
+namespace {
+
+TEST(ThreadPool, ResultsLandAtSubmittingIndex) {
+  ThreadPool pool(4);
+  const auto results = parallel_for_indexed(
+      pool, 200, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(results.size(), 200u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], i * i);
+  }
+}
+
+TEST(ThreadPool, JobCountDoesNotChangeResults) {
+  auto fn = [](std::size_t i) { return 3 * i + 7; };
+  const auto serial = parallel_for_indexed(std::size_t{1}, 64, fn);
+  for (std::size_t jobs : {2u, 4u, 8u, 16u}) {
+    const auto parallel = parallel_for_indexed(std::size_t{jobs}, 64, fn);
+    EXPECT_EQ(parallel, serial) << "jobs=" << jobs;
+  }
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for_indexed(pool, 50,
+                                    [](std::size_t i) -> int {
+                                      if (i == 17) throw std::runtime_error("boom 17");
+                                      return 0;
+                                    }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, LowestFailingIndexWins) {
+  // All items run; the rethrown error is the lowest index, deterministically,
+  // no matter which worker hit its exception first.
+  ThreadPool pool(8);
+  try {
+    (void)parallel_for_indexed(pool, 100, [](std::size_t i) -> int {
+      if (i == 5 || i == 80) throw std::runtime_error("item " + std::to_string(i));
+      return 0;
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "item 5");
+  }
+}
+
+TEST(ThreadPool, SerialPathPropagatesExceptions) {
+  EXPECT_THROW(parallel_for_indexed(std::size_t{1}, 10,
+                                    [](std::size_t i) -> int {
+                                      if (i == 3) throw std::runtime_error("serial");
+                                      return 0;
+                                    }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, DrainsQueuedTasksOnDestruction) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        done.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Destructor runs here, with most tasks still queued.
+  }
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilQueueEmpty) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, ZeroItemsIsEmpty) {
+  EXPECT_TRUE(
+      parallel_for_indexed(std::size_t{4}, 0, [](std::size_t) { return 1; }).empty());
+}
+
+TEST(ThreadPool, ZeroWorkersClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  const auto r = parallel_for_indexed(pool, 5, [](std::size_t i) { return i; });
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_EQ(r[4], 4u);
+}
+
+}  // namespace
+}  // namespace seer::util
