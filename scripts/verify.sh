@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full verification sweep: tier-1 tests, both sanitizer presets, and a
+# 100-iteration property run (see README "Verification" and DESIGN.md §7).
+# Usage: scripts/verify.sh [jobs]   (default: nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "== tier-1: configure + build + ctest (build/, ${JOBS} jobs) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"${JOBS}"
+ctest --test-dir build --output-on-failure -j"${JOBS}"
+
+for preset in tsan asan-ubsan; do
+  echo "== sanitizer preset: ${preset} =="
+  cmake --preset "${preset}" >/dev/null
+  cmake --build --preset "${preset}" -j"${JOBS}"
+  ctest --preset "${preset}" -j"${JOBS}"
+done
+
+echo "== property sweep: 100 iterations =="
+SEER_PROPERTY_ITERS=100 ./build/tests/property_test \
+  --gtest_filter='PropertyHarness.RandomWorkloadsStayOpaque'
+
+echo "verify.sh: all green"

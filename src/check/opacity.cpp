@@ -1,0 +1,111 @@
+#include "check/opacity.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+namespace seer::check {
+
+const char* to_string(ViolationKind k) noexcept {
+  switch (k) {
+    case ViolationKind::kStaleRead: return "stale read (lost update / zombie commit)";
+    case ViolationKind::kDirtyRead: return "dirty read (value never committed)";
+    case ViolationKind::kDuplicateCommitVersion: return "duplicate commit version";
+  }
+  return "?";
+}
+
+std::string to_string(const Violation& v) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%s: log %zu record %zu @v%llu word %p observed %llu expected %llu",
+                to_string(v.kind), v.log_index, v.record_index,
+                static_cast<unsigned long long>(v.commit_version), v.addr,
+                static_cast<unsigned long long>(v.observed),
+                static_cast<unsigned long long>(v.expected));
+  return buf;
+}
+
+void snapshot_words(MemorySnapshot& snap, const htm::TmWord* words, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    snap.emplace(&words[i], words[i].load(std::memory_order_relaxed));
+  }
+}
+
+OpacityReport verify_opacity(const std::vector<const htm::TxLog*>& logs,
+                             const MemorySnapshot& initial) {
+  OpacityReport report;
+
+  // Flatten and order by serialization point. A writer with version v
+  // *produces* state v, so it is checked (against state v-ε) and applied at
+  // v; a read-only transaction with snapshot v *consumed* state v and sorts
+  // just after the writer that produced it.
+  struct Ref {
+    std::uint64_t version;
+    bool read_only;  // sorts after the same-version writer
+    std::size_t log;
+    std::size_t rec;
+  };
+  std::vector<Ref> order;
+  for (std::size_t l = 0; l < logs.size(); ++l) {
+    for (std::size_t r = 0; r < logs[l]->size(); ++r) {
+      const htm::TxRecord& rec = (*logs[l])[r];
+      order.push_back(Ref{rec.commit_version, !rec.writer, l, r});
+    }
+  }
+  std::sort(order.begin(), order.end(), [](const Ref& a, const Ref& b) {
+    if (a.version != b.version) return a.version < b.version;
+    return a.read_only < b.read_only;
+  });
+
+  // The model store plus, per word, every value it legitimately held —
+  // initial or committed — to tell stale reads from dirty ones.
+  MemorySnapshot model = initial;
+  std::unordered_map<const void*, std::unordered_set<std::uint64_t>> history;
+  for (const auto& [addr, value] : initial) history[addr].insert(value);
+
+  std::uint64_t prev_writer_version = 0;
+  bool seen_writer = false;
+  for (const Ref& ref : order) {
+    const htm::TxRecord& rec = (*logs[ref.log])[ref.rec];
+    ++report.transactions_checked;
+
+    if (rec.writer) {
+      if (seen_writer && rec.commit_version == prev_writer_version) {
+        report.violations.push_back(Violation{ViolationKind::kDuplicateCommitVersion,
+                                              ref.log, ref.rec, rec.commit_version,
+                                              nullptr, 0, 0});
+      }
+      prev_writer_version = rec.commit_version;
+      seen_writer = true;
+    }
+
+    for (const htm::TxRead& rd : rec.reads) {
+      ++report.reads_checked;
+      const auto it = model.find(rd.addr);
+      if (it == model.end()) {
+        // Unverifiable prefix: first sighting of a word with no snapshot.
+        model.emplace(rd.addr, rd.value);
+        history[rd.addr].insert(rd.value);
+        continue;
+      }
+      if (it->second != rd.value) {
+        const auto& held = history[rd.addr];
+        const ViolationKind kind = held.count(rd.value) != 0
+                                       ? ViolationKind::kStaleRead
+                                       : ViolationKind::kDirtyRead;
+        report.violations.push_back(Violation{kind, ref.log, ref.rec,
+                                              rec.commit_version, rd.addr, rd.value,
+                                              it->second});
+      }
+    }
+
+    for (const htm::TxWrite& wr : rec.writes) {
+      model[wr.addr] = wr.value;
+      history[wr.addr].insert(wr.value);
+    }
+  }
+  return report;
+}
+
+}  // namespace seer::check

@@ -48,6 +48,9 @@ std::uint64_t SeerScheduler::executions_seen() const noexcept {
 }
 
 bool SeerScheduler::maybe_update(ThreadId thread, std::uint64_t now) {
+  if (trace_) {
+    trace_->on_event({SchedEvent::Kind::kMaybeUpdate, thread, kNoTx, now});
+  }
   if (thread != 0) return false;  // single designated maintainer — no locks
   const std::uint64_t seen = executions_seen();
   if (seen - executions_at_last_rebuild_ < cfg_.update_period) return false;
@@ -56,7 +59,12 @@ bool SeerScheduler::maybe_update(ThreadId thread, std::uint64_t now) {
   return true;
 }
 
-void SeerScheduler::force_update(std::uint64_t now) { rebuild(now); }
+void SeerScheduler::force_update(std::uint64_t now) {
+  if (trace_) {
+    trace_->on_event({SchedEvent::Kind::kForceUpdate, /*thread=*/0, kNoTx, now});
+  }
+  rebuild(now);
+}
 
 void SeerScheduler::rebuild(std::uint64_t now) {
   ++rebuilds_;
@@ -113,6 +121,7 @@ void SeerScheduler::rebuild(std::uint64_t now) {
   cur_buf_ = 1 - cur_buf_;
 
   auto next = build_lock_scheme(*inference_input, params_);
+  if (trace_) trace_->on_rebuild(rebuilds_, params_, *next);
   std::atomic_store_explicit(&scheme_, std::move(next), std::memory_order_release);
 }
 

@@ -72,6 +72,45 @@ struct SeerConfig {
   double stats_decay = 1.0;
 };
 
+// One scheduler-facing event, as a backend-agnostic value. The five calls
+// the backends drive the scheduler with (announce/clear/record_abort/
+// record_commit/maybe_update, plus the test-only force_update) map 1:1 onto
+// the kinds, so a captured stream can be replayed verbatim into a fresh
+// scheduler — the foundation of the cross-backend differential harness
+// (src/check/differential.hpp).
+struct SchedEvent {
+  enum class Kind : std::uint8_t {
+    kAnnounce,
+    kClear,
+    kAbort,
+    kCommit,
+    kMaybeUpdate,
+    kForceUpdate,
+  };
+  Kind kind = Kind::kAnnounce;
+  ThreadId thread = 0;
+  TxTypeId tx = kNoTx;     // kAnnounce/kAbort/kCommit only
+  std::uint64_t now = 0;   // kMaybeUpdate/kForceUpdate only
+
+  friend constexpr bool operator==(const SchedEvent& a, const SchedEvent& b) noexcept {
+    return a.kind == b.kind && a.thread == b.thread && a.tx == b.tx && a.now == b.now;
+  }
+};
+
+// Opt-in observer of the scheduler's event stream and rebuild decisions.
+// on_event fires before the call is processed; on_rebuild fires after a
+// rebuild publishes its scheme. Calls arrive on whichever thread drove the
+// scheduler — implementations used under real concurrency must synchronize
+// internally, and live-capture-equals-replay holds only for runs driven by
+// a single thread (the simulator, or a round-robin test driver).
+class SchedulerTraceSink {
+ public:
+  virtual ~SchedulerTraceSink() = default;
+  virtual void on_event(const SchedEvent& e) noexcept = 0;
+  virtual void on_rebuild(std::uint64_t rebuild_index, const InferenceParams& params,
+                          const LockScheme& scheme) noexcept = 0;
+};
+
 class SeerScheduler {
  public:
   explicit SeerScheduler(const SeerConfig& cfg);
@@ -81,8 +120,14 @@ class SeerScheduler {
   [[nodiscard]] const SeerConfig& config() const noexcept { return cfg_; }
 
   // --- hot path -----------------------------------------------------------
-  void announce(ThreadId thread, TxTypeId tx) noexcept { active_.announce(thread, tx); }
-  void clear(ThreadId thread) noexcept { active_.clear(thread); }
+  void announce(ThreadId thread, TxTypeId tx) noexcept {
+    if (trace_) trace_->on_event({SchedEvent::Kind::kAnnounce, thread, tx, 0});
+    active_.announce(thread, tx);
+  }
+  void clear(ThreadId thread) noexcept {
+    if (trace_) trace_->on_event({SchedEvent::Kind::kClear, thread, kNoTx, 0});
+    active_.clear(thread);
+  }
 
   // The per-thread slab carries ALL the event bookkeeping (matrices,
   // executions, raw tallies) in one contiguous allocation: a record touches
@@ -92,9 +137,11 @@ class SeerScheduler {
   // are scarce, otherwise the scheduler could never learn its way out of
   // them.
   void record_abort(ThreadId thread, TxTypeId tx) noexcept {
+    if (trace_) trace_->on_event({SchedEvent::Kind::kAbort, thread, tx, 0});
     slabs_[thread]->record_abort(tx, thread, active_);
   }
   void record_commit(ThreadId thread, TxTypeId tx) noexcept {
+    if (trace_) trace_->on_event({SchedEvent::Kind::kCommit, thread, tx, 0});
     slabs_[thread]->record_commit(tx, thread, active_);
   }
 
@@ -115,6 +162,11 @@ class SeerScheduler {
   // Unconditional rebuild (tests, and the SGL-wait trigger).
   void force_update(std::uint64_t now);
 
+  // --- check-harness instrumentation (src/check/) ---------------------------
+  // Installs an event/decision observer; nullptr disables. Install before
+  // any thread drives the scheduler and remove only after they stop.
+  void set_trace_sink(SchedulerTraceSink* sink) noexcept { trace_ = sink; }
+
   // --- introspection --------------------------------------------------------
   [[nodiscard]] InferenceParams params() const noexcept { return params_; }
   [[nodiscard]] std::uint64_t rebuild_count() const noexcept { return rebuilds_; }
@@ -131,6 +183,7 @@ class SeerScheduler {
   SeerConfig cfg_;
   ActiveTxTable active_;
   std::vector<std::unique_ptr<ThreadStats>> slabs_;
+  SchedulerTraceSink* trace_ = nullptr;
 
   std::shared_ptr<const LockScheme> scheme_;
   InferenceParams params_;

@@ -1,0 +1,86 @@
+// Check-harness hooks into the software HTM (consumed by src/check/).
+//
+// Two opt-in instruments share this header so that SoftHtm never depends on
+// the check library: a fault-injection interface consulted before every
+// speculative transactional operation, and the commit-log record types the
+// opacity checker replays offline. Both cost one dormant null-pointer test
+// on the hot path until a harness installs them on a ThreadContext.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "htm/abort_code.hpp"
+
+namespace seer::htm {
+
+// The transactional operations a fault can be attached to.
+enum class TxOp : std::uint8_t { kBegin, kRead, kWrite, kCommit };
+
+inline constexpr std::size_t kTxOpCount = 4;
+
+[[nodiscard]] constexpr std::string_view to_string(TxOp op) noexcept {
+  switch (op) {
+    case TxOp::kBegin: return "begin";
+    case TxOp::kRead: return "read";
+    case TxOp::kWrite: return "write";
+    case TxOp::kCommit: return "commit";
+  }
+  return "?";
+}
+
+// Deterministic abort injection. SoftHtm consults the installed injector
+// before every operation of a *speculative* attempt (never on the
+// capacity-exempt SGL fallback path, which models non-speculative
+// execution). Returning a status aborts the attempt with it through the
+// normal rollback path, so to the caller — and to any scheduling policy
+// above it — an injected fault is indistinguishable from a spurious
+// hardware abort.
+//
+// An injector is installed per ThreadContext and is only ever called from
+// that context's owning thread; implementations need no synchronization.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  // `attempt` counts transactions begun on the installing context (0-based,
+  // across retries and distinct transactions alike); `op_index` is the
+  // operation's 0-based position within the current attempt (kBegin is
+  // always op_index 0).
+  [[nodiscard]] virtual std::optional<AbortStatus> before_op(
+      TxOp op, std::uint64_t attempt, std::uint64_t op_index) noexcept = 0;
+};
+
+// One transactional read as the opacity checker sees it: the word and the
+// post-validation value the transaction observed. Reads satisfied from the
+// transaction's own write buffer are not logged — they never touch shared
+// memory and are trivially consistent.
+struct TxRead {
+  const void* addr = nullptr;
+  std::uint64_t value = 0;
+};
+
+// One committed write: the word and the final value published at commit
+// (one entry per distinct word; intermediate overwrites are invisible).
+struct TxWrite {
+  const void* addr = nullptr;
+  std::uint64_t value = 0;
+};
+
+// The log record of one COMMITTED transaction. Aborted attempts are rolled
+// back and leave no trace — the checker verifies the committed history.
+struct TxRecord {
+  std::uint64_t begin_version = 0;   // global-clock snapshot at begin
+  std::uint64_t commit_version = 0;  // unique write version (writers);
+                                     // begin_version for read-only commits
+  bool writer = false;
+  std::vector<TxRead> reads;    // program order, post-validation values
+  std::vector<TxWrite> writes;  // final value per distinct word
+};
+
+// Per-context commit log (single-writer; harvest after joining workers).
+using TxLog = std::vector<TxRecord>;
+
+}  // namespace seer::htm

@@ -30,7 +30,11 @@ void SoftHtm::ThreadContext::begin() {
   reads_.clear();
   writes_.clear();
   subs_.clear();
+  read_log_.clear();
+  ++attempt_count_;
+  op_index_ = 0;
   read_version_ = tm_.clock_.load(std::memory_order_acquire);
+  maybe_fault(TxOp::kBegin);
 }
 
 void SoftHtm::ThreadContext::rollback() noexcept {
@@ -44,6 +48,17 @@ void SoftHtm::ThreadContext::abort_with(AbortStatus status) {
   throw TxAbortException{status};
 }
 
+void SoftHtm::ThreadContext::maybe_fault(TxOp op) {
+  // Injection models *hardware* abort noise, so the capacity-exempt path
+  // (the pessimistic SGL fallback, which is not speculative) is exempt too —
+  // otherwise a high-rate plan could starve the fallback's retry loop.
+  if (fault_ == nullptr || !enforce_capacity_) return;
+  const std::uint64_t i = op_index_++;
+  if (const auto forced = fault_->before_op(op, attempt_count_ - 1, i)) {
+    abort_with(*forced);
+  }
+}
+
 void SoftHtm::ThreadContext::check_subscriptions() {
   for (const Subscription& s : subs_) {
     if (s.word->load(std::memory_order_acquire) != s.expected) {
@@ -54,23 +69,27 @@ void SoftHtm::ThreadContext::check_subscriptions() {
 
 std::uint64_t SoftHtm::ThreadContext::do_read(const TmWord& w) {
   assert(active_);
+  maybe_fault(TxOp::kRead);
   // Read-own-writes: the write buffer wins over memory.
   for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
     if (it->addr == &w) return it->value;
   }
   std::atomic<std::uint64_t>& stripe = tm_.stripe_of(&w);
+  const bool validate = tm_.cfg_.defect != Defect::kSkipReadValidation;
   // TL2 post-validated read: sample the stripe version, read the word,
   // re-check the stripe. Any concurrent commit to this stripe is caught.
   const std::uint64_t v_before = stripe.load(std::memory_order_acquire);
-  if ((v_before & kLockedBit) != 0 || v_before > (read_version_ << 1)) {
+  if (validate &&
+      ((v_before & kLockedBit) != 0 || v_before > (read_version_ << 1))) {
     abort_with(AbortStatus::conflict());
   }
   const std::uint64_t value = w.load(std::memory_order_acquire);
   const std::uint64_t v_after = stripe.load(std::memory_order_acquire);
-  if (v_after != v_before) {
+  if (validate && v_after != v_before) {
     abort_with(AbortStatus::conflict());
   }
   check_subscriptions();
+  if (log_ != nullptr) read_log_.push_back(TxRead{&w, value});
   reads_.push_back(ReadEntry{&stripe});
   if (enforce_capacity_ && reads_.size() > tm_.cfg_.max_read_set) {
     abort_with(AbortStatus::capacity());
@@ -80,6 +99,7 @@ std::uint64_t SoftHtm::ThreadContext::do_read(const TmWord& w) {
 
 void SoftHtm::ThreadContext::do_write(TmWord& w, std::uint64_t value) {
   assert(active_);
+  maybe_fault(TxOp::kWrite);
   for (auto& e : writes_) {
     if (e.addr == &w) {
       e.value = value;
@@ -103,9 +123,19 @@ void SoftHtm::ThreadContext::do_subscribe(const std::atomic<std::uint64_t>& word
 
 AbortStatus SoftHtm::ThreadContext::commit() {
   assert(active_);
+  maybe_fault(TxOp::kCommit);
   if (writes_.empty()) {
     // Read-only transactions were validated on every read; nothing to publish.
     check_subscriptions();
+    if (log_ != nullptr) {
+      // A read-only commit serializes at its snapshot: it saw every write
+      // with version <= read_version_ and none after.
+      log_->push_back(TxRecord{.begin_version = read_version_,
+                               .commit_version = read_version_,
+                               .writer = false,
+                               .reads = read_log_,
+                               .writes = {}});
+    }
     rollback();
     return AbortStatus(kXBeginStarted);
   }
@@ -150,19 +180,21 @@ AbortStatus SoftHtm::ThreadContext::commit() {
 
     // Validate the read set against the read version (stripes we own pass
     // by construction: we checked their version before locking).
-    for (const ReadEntry& r : reads_) {
-      const std::uint64_t v = r.stripe->load(std::memory_order_acquire);
-      if ((v & kLockedBit) != 0) {
-        const bool own = std::any_of(order.begin(), order.end(), [&](const WriteEntry* e) {
-          return e->stripe == r.stripe;
-        });
-        if (!own) {
+    if (tm_.cfg_.defect != Defect::kSkipCommitValidation) {
+      for (const ReadEntry& r : reads_) {
+        const std::uint64_t v = r.stripe->load(std::memory_order_acquire);
+        if ((v & kLockedBit) != 0) {
+          const bool own = std::any_of(order.begin(), order.end(), [&](const WriteEntry* e) {
+            return e->stripe == r.stripe;
+          });
+          if (!own) {
+            release_locked();
+            abort_with(AbortStatus::conflict());
+          }
+        } else if (v > (read_version_ << 1)) {
           release_locked();
           abort_with(AbortStatus::conflict());
         }
-      } else if (v > (read_version_ << 1)) {
-        release_locked();
-        abort_with(AbortStatus::conflict());
       }
     }
     for (const Subscription& sub : subs_) {
@@ -185,6 +217,16 @@ AbortStatus SoftHtm::ThreadContext::commit() {
     std::atomic<std::uint64_t>* s = order[i]->stripe;
     if (i > 0 && order[i - 1]->stripe == s) continue;
     s->store(wv << 1, std::memory_order_release);
+  }
+  if (log_ != nullptr) {
+    TxRecord rec{.begin_version = read_version_,
+                 .commit_version = wv,
+                 .writer = true,
+                 .reads = read_log_,
+                 .writes = {}};
+    rec.writes.reserve(writes_.size());
+    for (const WriteEntry& e : writes_) rec.writes.push_back(TxWrite{e.addr, e.value});
+    log_->push_back(std::move(rec));
   }
   rollback();
   return AbortStatus(kXBeginStarted);

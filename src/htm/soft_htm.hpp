@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "htm/abort_code.hpp"
+#include "htm/instrument.hpp"
 #include "util/cacheline.hpp"
 
 namespace seer::htm {
@@ -49,6 +50,15 @@ struct TxAbortException {
 
 class SoftHtm {
  public:
+  // Deliberately broken variants of the TM, used ONLY by the check harness
+  // (src/check/, DESIGN.md §7) to prove the opacity checker catches a
+  // defective implementation. Every real embedding uses kNone.
+  enum class Defect : std::uint8_t {
+    kNone,
+    kSkipCommitValidation,  // commit publishes without read-set validation
+    kSkipReadValidation,    // reads skip stripe pre/post-validation
+  };
+
   struct Config {
     // Capacity model. Haswell TSX tracks reads in L1d+L2-victim structures
     // (large) and writes strictly in L1d (small); we default to word counts
@@ -57,6 +67,7 @@ class SoftHtm {
     std::size_t max_write_set = 512;
     // Number of versioned-lock stripes (power of two).
     std::size_t stripes = 1u << 16;
+    Defect defect = Defect::kNone;
   };
 
   SoftHtm() : SoftHtm(Config{}) {}
@@ -97,8 +108,8 @@ class SoftHtm {
     // (status.raw() == kXBeginStarted) or the abort status.
     template <typename Body>
     AbortStatus attempt(Body&& body) {
-      begin();
       try {
+        begin();
         Tx tx(*this);
         body(tx);
         return commit();
@@ -129,6 +140,16 @@ class SoftHtm {
     [[nodiscard]] std::size_t read_set_size() const noexcept { return reads_.size(); }
     [[nodiscard]] std::size_t write_set_size() const noexcept { return writes_.size(); }
 
+    // --- check-harness instrumentation (src/check/) ----------------------
+    // Installs a deterministic fault injector consulted before every
+    // speculative operation; nullptr disables. The injector must outlive
+    // every attempt run on this context.
+    void set_fault_injector(FaultInjector* injector) noexcept { fault_ = injector; }
+    // Enables commit logging for the opacity checker: every committed
+    // transaction (speculative or capacity-exempt fallback) appends one
+    // TxRecord to `log`. nullptr disables.
+    void set_tx_log(TxLog* log) noexcept { log_ = log; }
+
    private:
     friend class Tx;
 
@@ -154,6 +175,7 @@ class SoftHtm {
     void do_subscribe(const std::atomic<std::uint64_t>& word, std::uint64_t expected);
     [[noreturn]] void abort_with(AbortStatus status);
     void check_subscriptions();
+    void maybe_fault(TxOp op);
 
     SoftHtm& tm_;
     bool active_ = false;
@@ -162,6 +184,12 @@ class SoftHtm {
     std::vector<ReadEntry> reads_;
     std::vector<WriteEntry> writes_;
     std::vector<Subscription> subs_;
+    // Check-harness state (dormant unless installed).
+    FaultInjector* fault_ = nullptr;
+    TxLog* log_ = nullptr;
+    std::uint64_t attempt_count_ = 0;  // begins seen by this context
+    std::uint64_t op_index_ = 0;       // ops within the current attempt
+    std::vector<TxRead> read_log_;     // observed reads, program order
   };
 
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }

@@ -139,6 +139,16 @@ class ThreadedExecutor {
     [[nodiscard]] const ThreadCounters& counters() const noexcept { return counters_; }
     [[nodiscard]] core::ThreadId id() const noexcept { return id_; }
 
+    // --- check-harness instrumentation (src/check/) ----------------------
+    // Per-thread hooks into the underlying SoftHtm context: deterministic
+    // abort injection and commit logging for the opacity checker. Install
+    // before the owning thread starts running transactions; the injector /
+    // log must outlive every run() on this handle.
+    void set_fault_injector(htm::FaultInjector* injector) noexcept {
+      tm_ctx_.set_fault_injector(injector);
+    }
+    void set_tx_log(htm::TxLog* log) noexcept { tm_ctx_.set_tx_log(log); }
+
    private:
     friend class ThreadedExecutor;
     ThreadHandle(ThreadedExecutor& exec, core::ThreadId id)

@@ -72,6 +72,37 @@ TEST(BenchRunner, JobsCountDoesNotChangeResults) {
   }
 }
 
+TEST(BenchRunner, JobsInvarianceHoldsWithSampledStats) {
+  // Statistical sampling (stats_sample_period > 1) adds another seeded RNG
+  // stream to the Seer hot path; the byte-identical --jobs invariance must
+  // survive it — sampling decisions may depend on the run's own seed, never
+  // on worker scheduling.
+  stamp::WorkloadInfo genome;
+  for (const auto& info : stamp::all_workloads()) {
+    if (info.name == "genome") genome = info;
+  }
+  std::vector<Cell> cells;
+  for (std::size_t threads : {2u, 4u}) {
+    rt::PolicyConfig pol = policy_of(rt::PolicyKind::kSeer);
+    pol.seer.stats_sample_period = 4;
+    cells.push_back({genome, pol, threads, {}});
+  }
+
+  Options serial = tiny_options();
+  serial.jobs = 1;
+  const auto base = run_cells(cells, serial);
+  ASSERT_EQ(base.size(), cells.size());
+
+  Options pooled = tiny_options();
+  pooled.jobs = 8;
+  const auto par = run_cells(cells, pooled);
+  ASSERT_EQ(par.size(), cells.size());
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    expect_identical(base[i], par[i], i);
+  }
+}
+
 TEST(BenchRunner, RunRecordsCarryThroughput) {
   Options opts = tiny_options();
   opts.jobs = 2;

@@ -196,6 +196,60 @@ TEST(ProbabilityModel, ZeroExecutionsGuarded) {
   EXPECT_DOUBLE_EQ(p.conditional_abort(0, 1), 1.0);
 }
 
+TEST(ProbabilityModel, EmptyStatsAreFiniteEverywhere) {
+  // A scheduler rebuilding before any slab recorded a sample must see
+  // probabilities, not NaNs: every cell of an all-zero stats matrix is 0.
+  GlobalStats g = make_stats(3);
+  const ProbabilityModel p(g);
+  for (TxTypeId x = 0; x < 3; ++x) {
+    for (TxTypeId y = 0; y < 3; ++y) {
+      EXPECT_EQ(p.conditional_abort(x, y), 0.0);
+      EXPECT_EQ(p.conjunctive_abort(x, y), 0.0);
+      EXPECT_FALSE(p.observed_concurrent(x, y));
+    }
+  }
+}
+
+TEST(ProbabilityModel, SingleThreadRunsCarryNoPairEvidence) {
+  // One thread, one active slot: the Alg. 3 scan skips self, so a
+  // single-threaded run accumulates executions but NEVER concurrent
+  // evidence — every pair probability must stay 0 (nothing to serialize).
+  ActiveTxTable active(1);
+  ThreadStats stats(2);
+  for (int i = 0; i < 10; ++i) {
+    active.announce(0, 0);
+    stats.record_abort(0, /*self=*/0, active);
+    stats.record_commit(0, /*self=*/0, active);
+    active.clear(0);
+  }
+  GlobalStats g = make_stats(2);
+  stats.merge_into(g);
+  EXPECT_EQ(g.execs(0), 20u);
+  const ProbabilityModel p(g);
+  for (TxTypeId x = 0; x < 2; ++x) {
+    for (TxTypeId y = 0; y < 2; ++y) {
+      EXPECT_EQ(p.conditional_abort(x, y), 0.0) << int(x) << "," << int(y);
+      EXPECT_EQ(p.conjunctive_abort(x, y), 0.0) << int(x) << "," << int(y);
+      EXPECT_FALSE(p.observed_concurrent(x, y));
+    }
+  }
+}
+
+TEST(ProbabilityModel, SelfConcurrencyCountsAsPairEvidence) {
+  // Two threads running the SAME type: (x, x) is a real pair — the model
+  // must not special-case the diagonal.
+  ActiveTxTable active(2);
+  active.announce(1, 0);
+  ThreadStats stats(1);
+  stats.record_abort(0, /*self=*/0, active);
+  GlobalStats g = make_stats(1);
+  stats.merge_into(g);
+  const ProbabilityModel p(g);
+  EXPECT_DOUBLE_EQ(p.conditional_abort(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(p.conjunctive_abort(0, 0), 1.0);
+  EXPECT_TRUE(p.observed_concurrent(0, 0));
+}
+
 // --------------------------------------------------------- LockScheme ------
 
 TEST(LockScheme, AddKeepsRowsSortedAndUnique) {
@@ -414,6 +468,86 @@ TEST(HillClimber, DeterministicBySeed) {
     const auto pb = b.feed(static_cast<double>(i % 7));
     EXPECT_DOUBLE_EQ(pa.x, pb.x);
     EXPECT_DOUBLE_EQ(pa.y, pb.y);
+  }
+}
+
+TEST(HillClimber, OscillatingScoresDoNotCauseDrift) {
+  // A noisy objective that alternates good/bad feedback must not walk the
+  // climber away from its best-known point: every non-improving epoch
+  // retreats to best, so the candidate is never more than one step from
+  // it. Unchecked, oscillation-chasing would random-walk the thresholds.
+  HillClimberConfig cfg;
+  cfg.jump_probability = 0.0;
+  cfg.seed = 11;
+  HillClimber hc(cfg);
+  const auto start = hc.current();
+  (void)hc.feed(100.0);  // strong baseline at the paper's initial point
+  for (int i = 0; i < 300; ++i) {
+    // Oscillate well below the baseline: none of these are improvements.
+    (void)hc.feed(i % 2 == 0 ? 1.0 : 50.0);
+    const auto p = hc.current();
+    EXPECT_LE(std::abs(p.x - start.x) + std::abs(p.y - start.y),
+              cfg.step + 1e-12)
+        << "candidate drifted more than one step from best at epoch " << i;
+  }
+  EXPECT_NEAR(hc.best().x, start.x, 1e-12);
+  EXPECT_NEAR(hc.best().y, start.y, 1e-12);
+  EXPECT_DOUBLE_EQ(hc.best_score(), 100.0);
+}
+
+TEST(HillClimber, BoundaryMovesClampAtMinCorner) {
+  // Pinned at the (lo, lo) corner, downhill proposals clamp onto the
+  // boundary instead of leaving the box; the clamped coordinate stays
+  // exactly lo, never a negative epsilon.
+  HillClimberConfig cfg;
+  cfg.initial_x = 0.0;
+  cfg.initial_y = 0.0;
+  cfg.jump_probability = 0.0;
+  cfg.seed = 5;
+  HillClimber hc(cfg);
+  for (int i = 0; i < 200; ++i) {
+    const auto p = hc.feed(0.0);  // never improve: best stays at the corner
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_GE(p.y, 0.0);
+    // One axis moved by at most +step, the other must sit exactly on lo.
+    EXPECT_TRUE(p.x == 0.0 || p.y == 0.0)
+        << "coordinate-wise proposal moved both axes: " << p.x << "," << p.y;
+    EXPECT_LE(p.x, cfg.step + 1e-12);
+    EXPECT_LE(p.y, cfg.step + 1e-12);
+  }
+}
+
+TEST(HillClimber, BoundaryMovesClampAtMaxCorner) {
+  HillClimberConfig cfg;
+  cfg.initial_x = 1.0;
+  cfg.initial_y = 1.0;
+  cfg.jump_probability = 0.0;
+  cfg.seed = 6;
+  HillClimber hc(cfg);
+  for (int i = 0; i < 200; ++i) {
+    const auto p = hc.feed(0.0);
+    EXPECT_LE(p.x, 1.0);
+    EXPECT_LE(p.y, 1.0);
+    EXPECT_GE(p.x, 1.0 - cfg.step - 1e-12);
+    EXPECT_GE(p.y, 1.0 - cfg.step - 1e-12);
+  }
+}
+
+TEST(HillClimber, DegenerateBoxPinsEveryProposal) {
+  // lo == hi: the box is a single point; proposals and jumps alike must
+  // collapse onto it rather than divide-by-zero or escape.
+  HillClimberConfig cfg;
+  cfg.lo = 0.4;
+  cfg.hi = 0.4;
+  cfg.initial_x = 0.4;
+  cfg.initial_y = 0.4;
+  cfg.jump_probability = 0.5;  // exercise the jump path too
+  cfg.seed = 8;
+  HillClimber hc(cfg);
+  for (int i = 0; i < 100; ++i) {
+    const auto p = hc.feed(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(p.x, 0.4);
+    EXPECT_DOUBLE_EQ(p.y, 0.4);
   }
 }
 

@@ -1,0 +1,249 @@
+// Property-based correctness driver: seeded random workloads crossed with
+// seeded random FaultPlans, executed on the real-threads backend with
+// commit logging on, then verified by the opacity checker and an exact
+// final-state oracle. Every iteration is reproducible from one 64-bit
+// seed; a failing run prints it in replay form.
+//
+// Environment knobs:
+//   SEER_PROPERTY_ITERS  — iterations per ctest invocation (default 25;
+//                          scripts/verify.sh runs 100)
+//   SEER_PROPERTY_SEED   — replay exactly this iteration seed and stop
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/fault_plan.hpp"
+#include "check/opacity.hpp"
+#include "htm/soft_htm.hpp"
+#include "runtime/threaded_executor.hpp"
+#include "util/rng.hpp"
+
+namespace seer::check {
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+// One randomly shaped run, fully determined by `seed`.
+struct Shape {
+  std::size_t n_threads;
+  std::size_t n_types;
+  std::size_t n_words;
+  std::size_t txs_per_thread;
+  std::size_t max_words_per_tx;
+  std::size_t max_pure_reads;  // reads of words the tx does NOT write
+  bool yield_mid_tx;  // widen conflict windows on few-core hosts
+  rt::PolicyKind policy;
+  FaultPlanConfig fault;
+};
+
+Shape shape_for(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Shape s;
+  s.n_threads = 1 + rng.below(4);
+  s.n_types = 1 + rng.below(3);
+  s.n_words = 2 + rng.below(14);
+  s.txs_per_thread = 100 + rng.below(200);
+  s.max_words_per_tx = 1 + rng.below(4);
+  s.max_pure_reads = rng.below(4);
+  s.yield_mid_tx = rng.bernoulli(0.5);
+  s.policy = rng.bernoulli(0.5) ? rt::PolicyKind::kSeer : rt::PolicyKind::kRtm;
+  // A hostile but not wall-to-wall injection schedule: enough to push
+  // traffic through every abort cause and onto the SGL fallback.
+  s.fault.p_conflict = rng.uniform01() * 0.05;
+  s.fault.p_capacity = rng.uniform01() * 0.03;
+  s.fault.p_other = rng.uniform01() * 0.02;
+  s.fault.seed = rng.next();
+  return s;
+}
+
+struct Outcome {
+  OpacityReport report;
+  std::uint64_t expected_total = 0;  // sum of all per-word increments
+  std::uint64_t actual_total = 0;
+  std::uint64_t injected = 0;
+};
+
+Outcome run_iteration(std::uint64_t seed, htm::SoftHtm::Defect defect) {
+  const Shape shape = shape_for(seed);
+  htm::SoftHtm tm(htm::SoftHtm::Config{.defect = defect});
+  rt::PolicyConfig policy;
+  policy.kind = shape.policy;
+  if (shape.policy == rt::PolicyKind::kSeer) {
+    policy.seer.update_period = 64;
+    policy.seer.physical_cores = 2;
+  }
+  rt::ThreadedExecutor::Options opts;
+  opts.n_threads = shape.n_threads;
+  opts.n_types = shape.n_types;
+  opts.physical_cores = 2;
+  rt::ThreadedExecutor exec(tm, policy, opts);
+
+  std::vector<htm::TmWord> words(shape.n_words);
+  MemorySnapshot initial;
+  snapshot_words(initial, words.data(), words.size());
+
+  std::vector<htm::TxLog> logs(shape.n_threads);
+  std::vector<FaultPlan> plans;
+  plans.reserve(shape.n_threads);
+  for (std::size_t t = 0; t < shape.n_threads; ++t) {
+    FaultPlanConfig fcfg = shape.fault;
+    fcfg.seed += t;  // distinct per-thread injection streams
+    plans.emplace_back(fcfg);
+  }
+
+  std::vector<std::uint64_t> increments(shape.n_threads, 0);
+  std::atomic<std::size_t> ready{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < shape.n_threads; ++t) {
+    threads.emplace_back([&, t] {
+      auto h = exec.make_handle(static_cast<core::ThreadId>(t));
+      h->set_fault_injector(&plans[t]);
+      h->set_tx_log(&logs[t]);
+      // Start together: a single-core host would otherwise serialize whole
+      // threads and the run would exercise no concurrency at all.
+      ready.fetch_add(1);
+      while (ready.load() < shape.n_threads) std::this_thread::yield();
+      util::Xoshiro256 rng(seed ^ (0x9e37u + t));
+      for (std::size_t i = 0; i < shape.txs_per_thread; ++i) {
+        const auto type = static_cast<core::TxTypeId>(rng.below(shape.n_types));
+        const std::size_t k = 1 + rng.below(shape.max_words_per_tx);
+        const std::size_t r = shape.max_pure_reads == 0
+                                  ? 0
+                                  : rng.below(shape.max_pure_reads + 1);
+        // Pick word indices up front so the body is replay-stable across
+        // retries (the RNG is not drawn inside the transaction).
+        std::array<std::size_t, 4> picks{};
+        std::array<std::size_t, 4> read_picks{};
+        for (std::size_t j = 0; j < k; ++j) picks[j] = rng.below(shape.n_words);
+        for (std::size_t j = 0; j < r; ++j) read_picks[j] = rng.below(shape.n_words);
+        (void)h->run(type, [&](auto& tx) {
+          // Pure reads first: words read but (possibly) not written, the
+          // case only commit-time read-set validation defends.
+          for (std::size_t j = 0; j < r; ++j) (void)tx.read(words[read_picks[j]]);
+          for (std::size_t j = 0; j < k; ++j) {
+            htm::TmWord& w = words[picks[j]];
+            const std::uint64_t v = tx.read(w);
+            if (shape.yield_mid_tx) std::this_thread::yield();
+            tx.write(w, v + 1);
+          }
+        });
+        // run() retries until the body commits exactly once.
+        increments[t] += k;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  Outcome out;
+  std::vector<const htm::TxLog*> log_ptrs;
+  for (const auto& l : logs) log_ptrs.push_back(&l);
+  out.report = verify_opacity(log_ptrs, initial);
+  for (const std::uint64_t n : increments) out.expected_total += n;
+  for (const auto& w : words) out.actual_total += w.load();
+  for (const auto& p : plans) out.injected += p.total_injected();
+  return out;
+}
+
+std::string replay_hint(std::uint64_t seed) {
+  return "replay with: SEER_PROPERTY_SEED=" + std::to_string(seed) +
+         " ./build/tests/property_test";
+}
+
+// On a healthy TM, every random (workload, fault plan) pair must preserve
+// opacity AND exact counts — injected aborts may cost retries, never
+// updates.
+TEST(PropertyHarness, RandomWorkloadsStayOpaque) {
+  const std::uint64_t master = env_u64("SEER_PROPERTY_SEED", 0);
+  const std::uint64_t iters = master != 0 ? 1 : env_u64("SEER_PROPERTY_ITERS", 25);
+  std::uint64_t injected_somewhere = 0;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::uint64_t seed = master != 0 ? master : 0xA11CE000u + i;
+    const Outcome out = run_iteration(seed, htm::SoftHtm::Defect::kNone);
+    injected_somewhere += out.injected;
+    if (!out.report.ok()) {
+      FAIL() << "opacity violation at seed " << seed << ": "
+             << to_string(out.report.violations.front()) << "\n"
+             << replay_hint(seed);
+    }
+    ASSERT_EQ(out.actual_total, out.expected_total)
+        << "lost/phantom update at seed " << seed << "\n"
+        << replay_hint(seed);
+  }
+  if (iters > 1) {
+    EXPECT_GT(injected_somewhere, 0u)
+        << "the fault plans never fired — the harness is not exercising aborts";
+  }
+}
+
+// Acceptance gate: a TM that skips commit-time read-set validation must be
+// caught by the checker well within 100 seeds. The workload reads one word
+// and writes a DIFFERENT one (t0: A→B, t1: B→A) — when read and write sets
+// coincide, the stripe-acquire version check catches conflicts even without
+// read-set validation, so cross-shaped transactions are the narrowest
+// workload the defect is exposed on. A mid-body yield widens the doomed
+// window even on a single-core host.
+TEST(PropertyHarness, CheckerCatchesBrokenHtm) {
+  bool caught = false;
+  std::uint64_t caught_at = 0;
+  for (std::uint64_t seed = 1; seed <= 100 && !caught; ++seed) {
+    htm::SoftHtm tm(htm::SoftHtm::Config{
+        .defect = htm::SoftHtm::Defect::kSkipCommitValidation});
+    rt::PolicyConfig policy;
+    policy.kind = rt::PolicyKind::kRtm;
+    rt::ThreadedExecutor::Options opts;
+    opts.n_threads = 2;
+    opts.n_types = 1;
+    opts.physical_cores = 2;
+    rt::ThreadedExecutor exec(tm, policy, opts);
+    std::array<htm::TmWord, 2> words{};
+    MemorySnapshot initial;
+    snapshot_words(initial, words.data(), words.size());
+    std::vector<htm::TxLog> logs(2);
+    constexpr std::uint64_t kPerThread = 200;
+    // Without a start barrier a single-core host can run the two workers
+    // back-to-back — zero overlap, nothing for the checker to catch.
+    std::atomic<int> ready{0};
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < 2; ++t) {
+      threads.emplace_back([&, t] {
+        auto h = exec.make_handle(static_cast<core::ThreadId>(t));
+        h->set_tx_log(&logs[t]);
+        htm::TmWord& src = words[t];
+        htm::TmWord& dst = words[1 - t];
+        ready.fetch_add(1);
+        while (ready.load() < 2) std::this_thread::yield();
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+          (void)h->run(0, [&](auto& tx) {
+            const std::uint64_t v = tx.read(src);
+            std::this_thread::yield();
+            tx.write(dst, v + 1);
+          });
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    const OpacityReport report = verify_opacity({&logs[0], &logs[1]}, initial);
+    if (!report.ok()) {
+      caught = true;
+      caught_at = seed;
+    }
+  }
+  EXPECT_TRUE(caught)
+      << "a TM without commit validation survived 100 property seeds";
+  if (caught) {
+    EXPECT_LE(caught_at, 100u);
+  }
+}
+
+}  // namespace
+}  // namespace seer::check
