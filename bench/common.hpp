@@ -33,6 +33,8 @@ struct Options {
   std::uint64_t base_seed = 1000;
   int jobs = 0;             // simulator runs in flight; 0 = hardware threads
   std::string json_path;    // per-config machine-readable results (--json)
+  std::string metrics_path; // per-run MetricsRegistry snapshots (--metrics)
+  std::string trace_path;   // Chrome trace_event JSON of cell 0 (--trace)
   std::vector<std::string> workloads;  // empty = all eight
 
   static Options parse(int argc, char** argv) {
@@ -56,12 +58,17 @@ struct Options {
         o.jobs = std::atoi(next());
       } else if (arg == "--json") {
         o.json_path = next();
+      } else if (arg == "--metrics") {
+        o.metrics_path = next();
+      } else if (arg == "--trace") {
+        o.trace_path = next();
       } else if (arg == "--workload") {
         o.workloads.push_back(next());
       } else if (arg == "--help" || arg == "-h") {
         std::printf(
             "options: --runs N  --txs-scale F  --seed S  --jobs N  "
-            "--json PATH  --workload NAME (repeatable)\n");
+            "--json PATH  --metrics PATH  --trace PATH  "
+            "--workload NAME (repeatable)\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown option %s\n", arg.c_str());

@@ -88,6 +88,6 @@ int main(int argc, char** argv) {
       seer8 / rtm8, 100.0 * (seer8 / rtm8 - 1.0), seer8 / scm8,
       100.0 * (seer8 / scm8 - 1.0));
 
-  bench::write_json("fig3_speedup", cells, results, opts);
+  bench::write_outputs("fig3_speedup", cells, results, opts);
   return 0;
 }

@@ -98,6 +98,6 @@ int main(int argc, char** argv) {
                 100.0 * (seer / base - 1.0));
   }
 
-  bench::write_json("fig4_overhead", cells, results, opts);
+  bench::write_outputs("fig4_overhead", cells, results, opts);
   return 0;
 }

@@ -115,6 +115,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
-  bench::write_json("fig5_ablation", cells, results, opts);
+  bench::write_outputs("fig5_ablation", cells, results, opts);
   return 0;
 }

@@ -82,6 +82,6 @@ int main(int argc, char** argv) {
       "\n('recovered' = share of the RTM->Oracle headroom that Seer attains\n"
       " without any precise feedback — the paper's central trade-off.)\n");
 
-  bench::write_json("oracle_gap", cells, results, opts);
+  bench::write_outputs("oracle_gap", cells, results, opts);
   return 0;
 }

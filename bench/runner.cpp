@@ -10,13 +10,14 @@
 
 namespace seer::bench {
 
-CellResult run_cell(const Cell& cell, const Options& opts) {
+CellResult run_cell(const Cell& cell, const Options& opts, obs::TraceSink* trace) {
   CellResult out;
   Summary& sum = out.summary;
   util::RunningStats speedup;
   double census_lt = 0.0;
   double census_median = 0.0;
   int census_runs = 0;
+  const bool want_metrics = !opts.metrics_path.empty();
   out.runs.reserve(static_cast<std::size_t>(opts.runs));
   for (int r = 0; r < opts.runs; ++r) {
     sim::MachineConfig cfg;
@@ -27,10 +28,19 @@ CellResult run_cell(const Cell& cell, const Options& opts) {
                  opts.txs_scale));
     cfg.policy = cell.policy;
     cfg.seed = opts.base_seed + static_cast<std::uint64_t>(r) * 7919;
-    const sim::MachineStats s = sim::run_machine(
+    // One registry per run: snapshots are per-(cell, seed), so concurrent
+    // cells never share mutable observability state (the --jobs-invariance
+    // argument above extends to the --metrics output).
+    obs::MetricsRegistry reg(cell.threads);
+    if (want_metrics) cfg.metrics = &reg;
+    if (trace != nullptr && r == 0) cfg.trace = trace;
+    sim::Machine machine(
         cfg, std::make_unique<stamp::SpecWorkload>(cell.info.spec(), cell.threads));
+    reg.freeze();  // every component has registered by now
+    const sim::MachineStats s = machine.run();
 
     RunRecord rec;
+    if (want_metrics) rec.metrics = reg.snapshot().to_json();
     rec.seed = cfg.seed;
     rec.speedup = s.speedup();
     rec.commits = s.commits;
@@ -93,9 +103,22 @@ CellResult run_cell(const Cell& cell, const Options& opts) {
 
 std::vector<CellResult> run_cells(const std::vector<Cell>& cells,
                                   const Options& opts) {
-  return util::parallel_for_indexed(
-      opts.effective_jobs(), cells.size(),
-      [&](std::size_t i) { return run_cell(cells[i], opts); });
+  // With --trace, cell 0's first seed records into a sink that outlives the
+  // sweep; it is drained (race-free: the producing worker has returned)
+  // after the pool finishes.
+  std::unique_ptr<obs::TraceSink> trace;
+  if (!opts.trace_path.empty() && !cells.empty()) {
+    trace = std::make_unique<obs::TraceSink>(cells[0].threads);
+  }
+  auto results = util::parallel_for_indexed(
+      opts.effective_jobs(), cells.size(), [&](std::size_t i) {
+        return run_cell(cells[i], opts, i == 0 ? trace.get() : nullptr);
+      });
+  if (trace != nullptr && !trace->write_chrome_json(opts.trace_path)) {
+    std::fprintf(stderr, "cannot open --trace path: %s\n", opts.trace_path.c_str());
+    std::exit(2);
+  }
+  return results;
 }
 
 Summary run_config(const stamp::WorkloadInfo& info, const Options& opts,
@@ -160,6 +183,53 @@ void write_json(const std::string& exhibit, const std::vector<Cell>& cells,
   }
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
+}
+
+void write_metrics_json(const std::string& exhibit, const std::vector<Cell>& cells,
+                        const std::vector<CellResult>& results, const Options& opts) {
+  if (opts.metrics_path.empty()) return;
+  if (cells.size() != results.size()) {
+    throw std::logic_error("write_metrics_json: cells/results size mismatch");
+  }
+  std::FILE* f = std::fopen(opts.metrics_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open --metrics path: %s\n", opts.metrics_path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"exhibit\": \"%s\",\n"
+               "  \"runs\": %d,\n"
+               "  \"txs_scale\": %g,\n"
+               "  \"base_seed\": %llu,\n"
+               "  \"results\": [\n",
+               exhibit.c_str(), opts.runs, opts.txs_scale,
+               static_cast<unsigned long long>(opts.base_seed));
+  bool first = true;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    const char* policy = cell.policy_label.empty()
+                             ? rt::to_string(cell.policy.kind)
+                             : cell.policy_label.c_str();
+    for (const RunRecord& r : results[i].runs) {
+      // r.metrics is already a JSON object (MetricsSnapshot::to_json).
+      std::fprintf(f,
+                   "%s    {\"workload\": \"%s\", \"policy\": \"%s\", "
+                   "\"threads\": %zu, \"seed\": %llu, \"metrics\": %s}",
+                   first ? "" : ",\n", cell.info.name.c_str(), policy,
+                   cell.threads, static_cast<unsigned long long>(r.seed),
+                   r.metrics.empty() ? "{}" : r.metrics.c_str());
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
+void write_outputs(const std::string& exhibit, const std::vector<Cell>& cells,
+                   const std::vector<CellResult>& results, const Options& opts) {
+  write_json(exhibit, cells, results, opts);
+  write_metrics_json(exhibit, cells, results, opts);
 }
 
 }  // namespace seer::bench

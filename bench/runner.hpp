@@ -35,6 +35,11 @@ struct RunRecord {
   std::uint64_t makespan = 0;           // simulated cycles
   double commits_per_mcycle = 0.0;      // commit throughput (per 1e6 cycles)
   std::array<std::uint64_t, 4> aborts_by_cause{};  // indexed by AbortCause
+  // MetricsRegistry snapshot of this run as a JSON object (--metrics only;
+  // empty otherwise). Deterministic per (cell, seed): the simulator is
+  // single-threaded and registration order is fixed, so the --metrics file
+  // is byte-identical for any --jobs value.
+  std::string metrics;
 };
 
 struct CellResult {
@@ -42,11 +47,16 @@ struct CellResult {
   std::vector<RunRecord> runs;  // in seed order
 };
 
-// Runs one configuration over opts.runs seeds — the serial kernel.
-[[nodiscard]] CellResult run_cell(const Cell& cell, const Options& opts);
+// Runs one configuration over opts.runs seeds — the serial kernel. When
+// `trace` is non-null the first seed's run records trace events into it
+// (the sink's lane count must cover cell.threads).
+[[nodiscard]] CellResult run_cell(const Cell& cell, const Options& opts,
+                                  obs::TraceSink* trace = nullptr);
 
 // Runs every cell across opts.effective_jobs() workers; result i belongs to
-// cells[i]. Exceptions from a cell propagate (lowest index first).
+// cells[i]. Exceptions from a cell propagate (lowest index first). With
+// --trace, cell 0's first seed is traced and the Chrome JSON is written to
+// opts.trace_path before returning.
 [[nodiscard]] std::vector<CellResult> run_cells(const std::vector<Cell>& cells,
                                                 const Options& opts);
 
@@ -60,5 +70,14 @@ struct CellResult {
 // format BENCH_*.json perf trajectories are tracked with across PRs.
 void write_json(const std::string& exhibit, const std::vector<Cell>& cells,
                 const std::vector<CellResult>& results, const Options& opts);
+
+// Writes opts.metrics_path (no-op when empty): one MetricsRegistry snapshot
+// per (cell, seed), in cell order. Byte-identical for any --jobs value.
+void write_metrics_json(const std::string& exhibit, const std::vector<Cell>& cells,
+                        const std::vector<CellResult>& results, const Options& opts);
+
+// write_json + write_metrics_json — what every exhibit main calls.
+void write_outputs(const std::string& exhibit, const std::vector<Cell>& cells,
+                   const std::vector<CellResult>& results, const Options& opts);
 
 }  // namespace seer::bench

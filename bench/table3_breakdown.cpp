@@ -131,6 +131,6 @@ int main(int argc, char** argv) {
       "paper reference @8t: HLE 23/77, RTM 63/37, SCM 66/29/5,\n"
       "                     Seer 80/3/4/12/1 (no-locks/tx/core/tx+core/SGL)\n");
 
-  bench::write_json("table3_breakdown", cells, results, opts);
+  bench::write_outputs("table3_breakdown", cells, results, opts);
   return 0;
 }

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Gate bench-smoke throughput against the checked-in baseline.
+
+Each bench exhibit's smoke run (ctest label `bench_smoke`) writes a --json
+file with one record per (workload, policy, threads, seed). This script
+compares every record's `commits_per_mcycle` — simulated commit throughput,
+deterministic per seed, so it is stable across machines and CI runners —
+against bench/baseline.json and fails when any record drops by more than the
+threshold (default 10%).
+
+Usage:
+  check_bench_regression.py [--baseline PATH] [--threshold 0.10]
+                            [--update] SMOKE_JSON [SMOKE_JSON ...]
+
+  --update rewrites the baseline from the given smoke files instead of
+  checking (run it after an intentional perf/behaviour change and commit the
+  result).
+
+Exit codes: 0 ok, 1 regression found, 2 usage/malformed input.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "bench", "baseline.json")
+
+
+def load_records(paths):
+    """Maps 'exhibit|workload|policy|threads|seed' -> commits_per_mcycle."""
+    records = {}
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: cannot read {path}: {e}", file=sys.stderr)
+            sys.exit(2)
+        exhibit = doc.get("exhibit", os.path.basename(path))
+        for rec in doc.get("results", []):
+            key = "|".join(str(rec[k])
+                           for k in ("workload", "policy", "threads", "seed"))
+            key = f"{exhibit}|{key}"
+            if key in records:
+                print(f"error: duplicate record {key}", file=sys.stderr)
+                sys.exit(2)
+            records[key] = float(rec["commits_per_mcycle"])
+    return records
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("smoke_json", nargs="+",
+                    help="--json output of a bench smoke run")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="max allowed fractional drop (default 0.10)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline instead of checking")
+    args = ap.parse_args()
+
+    current = load_records(args.smoke_json)
+    if not current:
+        print("error: no records in smoke files", file=sys.stderr)
+        return 2
+
+    if args.update:
+        doc = {"threshold": args.threshold,
+               "metric": "commits_per_mcycle",
+               "records": {k: current[k] for k in sorted(current)}}
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2, sort_keys=False)
+            f.write("\n")
+        print(f"baseline updated: {len(current)} records -> {args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)["records"]
+    except (OSError, json.JSONDecodeError, KeyError) as e:
+        print(f"error: cannot read baseline {args.baseline}: {e}",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    missing = [k for k in current if k not in baseline]
+    for key, base in sorted(baseline.items()):
+        if key not in current:
+            # Baseline entries absent from this invocation's smoke files are
+            # fine: CI may check one exhibit at a time.
+            continue
+        cur = current[key]
+        if base > 0 and cur < base * (1.0 - args.threshold):
+            regressions.append((key, base, cur))
+
+    checked = sum(1 for k in current if k in baseline)
+    print(f"checked {checked} records against {args.baseline} "
+          f"(threshold {args.threshold:.0%})")
+    if missing:
+        # New configurations are informational: they gate nothing until the
+        # baseline is regenerated with --update.
+        print(f"note: {len(missing)} record(s) not in baseline, e.g. {missing[0]}")
+    if checked == 0:
+        print("error: no smoke record matched the baseline — wrong files, or "
+              "the baseline needs --update", file=sys.stderr)
+        return 2
+    for key, base, cur in regressions:
+        drop = 1.0 - cur / base
+        print(f"REGRESSION {key}: {base:.3f} -> {cur:.3f} (-{drop:.1%})")
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond {args.threshold:.0%}")
+        return 1
+    print("ok: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

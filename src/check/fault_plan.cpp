@@ -37,7 +37,9 @@ std::optional<htm::AbortStatus> FaultPlan::before_op(htm::TxOp op, std::uint64_t
     // injection schedule is a pure function of (seed, op stream).
     const double u = rng_.uniform01();
     if (u < cfg_.p_conflict) return inject(htm::AbortStatus::conflict());
-    if (u < cfg_.p_conflict + cfg_.p_capacity) return inject(htm::AbortStatus::capacity());
+    if (u < cfg_.p_conflict + cfg_.p_capacity) {
+      return inject(htm::AbortStatus::capacity());
+    }
     if (u < cfg_.p_conflict + cfg_.p_capacity + cfg_.p_other) {
       return inject(htm::AbortStatus::other());
     }

@@ -17,6 +17,16 @@ SeerScheduler::SeerScheduler(const SeerConfig& cfg)
     slabs_.push_back(
         std::make_unique<ThreadStats>(cfg.n_types, cfg.stats_sample_period));
   }
+  if (cfg_.metrics != nullptr) {
+    metrics_ = cfg_.metrics;
+    m_announces_ = metrics_->counter("seer.announces");
+    m_aborts_ = metrics_->counter("seer.aborts");
+    m_commits_ = metrics_->counter("seer.commits");
+    m_rebuilds_ = metrics_->counter("seer.rebuilds");
+    m_climber_steps_ = metrics_->counter("seer.climber_steps");
+    h_scheme_edges_ = metrics_->histogram("seer.scheme_edges");
+  }
+  obs_trace_ = cfg_.obs_trace;
   if (cfg_.stats_decay < 1.0) {
     decayed_aborts_.assign(cfg.n_types * cfg.n_types, 0.0);
     decayed_commits_.assign(cfg.n_types * cfg.n_types, 0.0);
@@ -82,6 +92,10 @@ void SeerScheduler::rebuild(std::uint64_t now) {
           static_cast<double>(now - time_at_last_epoch_);
       const HillClimber::Point p = climber_.feed(throughput);
       params_ = InferenceParams{.th1 = p.x, .th2 = p.y};
+      if (metrics_) metrics_->add(m_climber_steps_, 0);
+      if (obs_trace_) {
+        obs_trace_->emit(0, obs::TraceKind::kClimberStep, now, climber_.epochs());
+      }
     }
     commits_at_last_epoch_ = commits;
     time_at_last_epoch_ = now;
@@ -122,6 +136,13 @@ void SeerScheduler::rebuild(std::uint64_t now) {
 
   auto next = build_lock_scheme(*inference_input, params_);
   if (trace_) trace_->on_rebuild(rebuilds_, params_, *next);
+  if (metrics_) {
+    metrics_->add(m_rebuilds_, 0);
+    metrics_->observe(h_scheme_edges_, 0, next->edge_count());
+  }
+  if (obs_trace_) {
+    obs_trace_->emit(0, obs::TraceKind::kSchemeRebuild, now, next->edge_count());
+  }
   std::atomic_store_explicit(&scheme_, std::move(next), std::memory_order_release);
 }
 

@@ -22,6 +22,8 @@
 #include "core/hill_climber.hpp"
 #include "core/lock_scheme.hpp"
 #include "core/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/cacheline.hpp"
 
 namespace seer::core {
@@ -70,6 +72,13 @@ struct SeerConfig {
   // scheme tracks time-varying workloads (phased benchmarks) instead of
   // being dominated by stale history. 1.0 = pure accumulation (paper).
   double stats_decay = 1.0;
+
+  // --- observability (src/obs/, DESIGN.md §8) ----------------------------
+  // Optional sinks; both must outlive the scheduler and be frozen/drained by
+  // the embedding. nullptr (default) disables with one predicted branch per
+  // event; with SEER_OBS=OFF the calls compile away entirely.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceSink* obs_trace = nullptr;
 };
 
 // One scheduler-facing event, as a backend-agnostic value. The five calls
@@ -122,6 +131,7 @@ class SeerScheduler {
   // --- hot path -----------------------------------------------------------
   void announce(ThreadId thread, TxTypeId tx) noexcept {
     if (trace_) trace_->on_event({SchedEvent::Kind::kAnnounce, thread, tx, 0});
+    if (metrics_) metrics_->add(m_announces_, thread);
     active_.announce(thread, tx);
   }
   void clear(ThreadId thread) noexcept {
@@ -138,10 +148,12 @@ class SeerScheduler {
   // them.
   void record_abort(ThreadId thread, TxTypeId tx) noexcept {
     if (trace_) trace_->on_event({SchedEvent::Kind::kAbort, thread, tx, 0});
+    if (metrics_) metrics_->add(m_aborts_, thread);
     slabs_[thread]->record_abort(tx, thread, active_);
   }
   void record_commit(ThreadId thread, TxTypeId tx) noexcept {
     if (trace_) trace_->on_event({SchedEvent::Kind::kCommit, thread, tx, 0});
+    if (metrics_) metrics_->add(m_commits_, thread);
     slabs_[thread]->record_commit(tx, thread, active_);
   }
 
@@ -184,6 +196,16 @@ class SeerScheduler {
   ActiveTxTable active_;
   std::vector<std::unique_ptr<ThreadStats>> slabs_;
   SchedulerTraceSink* trace_ = nullptr;
+
+  // Observability sinks (SeerConfig::metrics / obs_trace; dormant when null).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceSink* obs_trace_ = nullptr;
+  obs::MetricId m_announces_ = obs::kNoMetric;
+  obs::MetricId m_aborts_ = obs::kNoMetric;
+  obs::MetricId m_commits_ = obs::kNoMetric;
+  obs::MetricId m_rebuilds_ = obs::kNoMetric;
+  obs::MetricId m_climber_steps_ = obs::kNoMetric;
+  obs::MetricId h_scheme_edges_ = obs::kNoMetric;
 
   std::shared_ptr<const LockScheme> scheme_;
   InferenceParams params_;

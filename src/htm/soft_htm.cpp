@@ -20,7 +20,8 @@ void SoftHtm::Tx::write(TmWord& w, std::uint64_t value) { ctx_.do_write(w, value
 void SoftHtm::Tx::abort(std::uint8_t code) {
   ctx_.abort_with(AbortStatus::explicit_abort(code));
 }
-void SoftHtm::Tx::subscribe(const std::atomic<std::uint64_t>& word, std::uint64_t expected) {
+void SoftHtm::Tx::subscribe(const std::atomic<std::uint64_t>& word,
+                            std::uint64_t expected) {
   ctx_.do_subscribe(word, expected);
 }
 
@@ -34,6 +35,10 @@ void SoftHtm::ThreadContext::begin() {
   ++attempt_count_;
   op_index_ = 0;
   read_version_ = tm_.clock_.load(std::memory_order_acquire);
+  if (obs_ != nullptr) {
+    obs_->emit(obs_lane_, obs::TraceKind::kTxBegin, obs::now_ticks(),
+               attempt_count_ - 1);
+  }
   maybe_fault(TxOp::kBegin);
 }
 
@@ -45,6 +50,10 @@ void SoftHtm::ThreadContext::rollback() noexcept {
 }
 
 void SoftHtm::ThreadContext::abort_with(AbortStatus status) {
+  if (obs_ != nullptr) {
+    obs_->emit(obs_lane_, obs::TraceKind::kTxAbort, obs::now_ticks(),
+               static_cast<std::uint64_t>(status.cause()));
+  }
   throw TxAbortException{status};
 }
 
@@ -136,6 +145,9 @@ AbortStatus SoftHtm::ThreadContext::commit() {
                                .reads = read_log_,
                                .writes = {}});
     }
+    if (obs_ != nullptr) {
+      obs_->emit(obs_lane_, obs::TraceKind::kTxCommit, obs::now_ticks(), 0);
+    }
     rollback();
     return AbortStatus(kXBeginStarted);
   }
@@ -184,7 +196,8 @@ AbortStatus SoftHtm::ThreadContext::commit() {
       for (const ReadEntry& r : reads_) {
         const std::uint64_t v = r.stripe->load(std::memory_order_acquire);
         if ((v & kLockedBit) != 0) {
-          const bool own = std::any_of(order.begin(), order.end(), [&](const WriteEntry* e) {
+          const bool own =
+              std::any_of(order.begin(), order.end(), [&](const WriteEntry* e) {
             return e->stripe == r.stripe;
           });
           if (!own) {
@@ -227,6 +240,9 @@ AbortStatus SoftHtm::ThreadContext::commit() {
     rec.writes.reserve(writes_.size());
     for (const WriteEntry& e : writes_) rec.writes.push_back(TxWrite{e.addr, e.value});
     log_->push_back(std::move(rec));
+  }
+  if (obs_ != nullptr) {
+    obs_->emit(obs_lane_, obs::TraceKind::kTxCommit, obs::now_ticks(), writes_.size());
   }
   rollback();
   return AbortStatus(kXBeginStarted);

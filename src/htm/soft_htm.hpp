@@ -34,6 +34,7 @@
 
 #include "htm/abort_code.hpp"
 #include "htm/instrument.hpp"
+#include "obs/trace.hpp"
 #include "util/cacheline.hpp"
 
 namespace seer::htm {
@@ -150,6 +151,15 @@ class SoftHtm {
     // TxRecord to `log`. nullptr disables.
     void set_tx_log(TxLog* log) noexcept { log_ = log; }
 
+    // --- observability (src/obs/) ----------------------------------------
+    // Emits tx begin/commit/abort events into `lane` of the sink (RDTSC
+    // timestamps via obs::now_ticks). The sink must outlive every attempt
+    // run on this context; nullptr disables.
+    void set_obs(obs::TraceSink* sink, core::ThreadId lane) noexcept {
+      obs_ = sink;
+      obs_lane_ = lane;
+    }
+
    private:
     friend class Tx;
 
@@ -187,6 +197,9 @@ class SoftHtm {
     // Check-harness state (dormant unless installed).
     FaultInjector* fault_ = nullptr;
     TxLog* log_ = nullptr;
+    // Observability trace sink (dormant unless installed).
+    obs::TraceSink* obs_ = nullptr;
+    core::ThreadId obs_lane_ = 0;
     std::uint64_t attempt_count_ = 0;  // begins seen by this context
     std::uint64_t op_index_ = 0;       // ops within the current attempt
     std::vector<TxRead> read_log_;     // observed reads, program order

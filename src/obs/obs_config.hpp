@@ -1,0 +1,12 @@
+// Compile-time gate for the observability layer.
+//
+// The build defines SEER_OBS_ENABLED=1/0 from the SEER_OBS CMake option
+// (default ON). When OFF, obs/metrics.hpp and obs/trace.hpp expose empty
+// inline stubs with the identical surface, so every instrumentation point in
+// the components compiles away to nothing — no pointer checks survive
+// optimization because the called bodies have no side effects.
+#pragma once
+
+#ifndef SEER_OBS_ENABLED
+#define SEER_OBS_ENABLED 1
+#endif

@@ -384,7 +384,9 @@ class SeerPolicy final : public Policy {
 
     // Cooperative waiting (Alg. 4 lines 57-58): wait for our own tx lock and
     // core lock when some *other* thread holds them.
-    if (!holds_tx_ && cfg_.enable_tx_locks) d.waits.push_back(tx_lock(static_cast<std::uint16_t>(tx_)));
+    if (!holds_tx_ && cfg_.enable_tx_locks) {
+      d.waits.push_back(tx_lock(static_cast<std::uint16_t>(tx_)));
+    }
     if (!holds_core_ && cfg_.enable_core_locks) d.waits.push_back(core_lock(my_core_));
     return d;
   }

@@ -82,7 +82,8 @@ class OracleShared {
   [[nodiscard]] std::shared_ptr<const core::LockScheme> scheme() const {
     return std::atomic_load_explicit(&scheme_, std::memory_order_acquire);
   }
-  [[nodiscard]] std::uint64_t conflicts(core::TxTypeId x, core::TxTypeId y) const noexcept;
+  [[nodiscard]] std::uint64_t conflicts(core::TxTypeId x,
+                                        core::TxTypeId y) const noexcept;
 
  private:
   std::size_t n_types_;

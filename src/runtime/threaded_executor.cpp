@@ -12,8 +12,20 @@ ThreadedExecutor::ThreadedExecutor(htm::SoftHtm& tm, const PolicyConfig& policy,
                                    Options opts)
     : tm_(tm),
       opts_(opts),
-      shared_(policy, opts.n_threads, opts.n_types),
-      locks_(opts.n_types, opts.physical_cores) {}
+      shared_(with_obs(policy, opts), opts.n_threads, opts.n_types),
+      locks_(opts.n_types, opts.physical_cores) {
+  if (opts_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *opts_.metrics;
+    m_commits_ = m.counter("rt.commits");
+    m_sgl_fallbacks_ = m.counter("rt.sgl_fallbacks");
+    h_retry_depth_ = m.histogram("rt.retry_depth");
+    for (std::size_t c = 0; c < m_aborts_.size(); ++c) {
+      m_aborts_[c] = m.counter(
+          std::string("rt.aborts.")
+              .append(htm::to_string(static_cast<htm::AbortCause>(c))));
+    }
+  }
+}
 
 std::uint64_t ThreadedExecutor::ThreadHandle::now() noexcept {
 #if defined(__x86_64__) || defined(__i386__)

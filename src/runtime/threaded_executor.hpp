@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "htm/soft_htm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/policies.hpp"
 #include "runtime/policy.hpp"
 #include "runtime/word_lock.hpp"
@@ -99,6 +101,14 @@ class ThreadedExecutor {
     // All-or-nothing batched lock acquisition attempts before falling back
     // to blocking in-order acquisition.
     int batch_tries = 8;
+
+    // --- observability (src/obs/, DESIGN.md §8) --------------------------
+    // Optional sinks shared by the executor, the SoftHtm contexts it owns
+    // and (unless the policy config installs its own) the Seer scheduler.
+    // Both must outlive the executor; the embedder freezes the registry
+    // after constructing the executor and before spawning threads.
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::TraceSink* trace = nullptr;
   };
 
   ThreadedExecutor(htm::SoftHtm& tm, const PolicyConfig& policy, Options opts);
@@ -113,6 +123,7 @@ class ThreadedExecutor {
       policy_->maintenance(now());
       policy_->begin_tx(tx, now());
       LockList held;
+      std::uint64_t tx_attempts = 0;
       while (true) {
         const Directive d = policy_->next_attempt(now());
         apply_releases(d, held);
@@ -120,18 +131,25 @@ class ThreadedExecutor {
         if (d.mode == Directive::Mode::kFallback) {
           run_fallback(body);
           finish(/*hardware=*/false, held);
+          obs_tx_done(CommitMode::kSglFallback, tx, tx_attempts);
           return CommitMode::kSglFallback;
         }
         wait_locks(d);
         ++counters_.hw_attempts;
+        ++tx_attempts;
         const htm::AbortStatus status = hw_attempt(body);
         if (status.raw() == htm::kXBeginStarted) {
           const CommitMode mode = classify_commit(held, /*used_sgl=*/false);
           counters_.commits_by_mode[static_cast<std::size_t>(mode)]++;
           finish(/*hardware=*/true, held);
+          obs_tx_done(mode, tx, tx_attempts);
           return mode;
         }
         counters_.aborts_by_cause[static_cast<std::size_t>(status.cause())]++;
+        if (exec_->opts_.metrics != nullptr) {
+          exec_->opts_.metrics->add(
+              exec_->m_aborts_[static_cast<std::size_t>(status.cause())], id_);
+        }
         policy_->on_abort(status, now());
       }
     }
@@ -152,7 +170,29 @@ class ThreadedExecutor {
    private:
     friend class ThreadedExecutor;
     ThreadHandle(ThreadedExecutor& exec, core::ThreadId id)
-        : exec_(&exec), id_(id), tm_ctx_(exec.tm_), policy_(exec.shared_.make_thread_policy(id)) {}
+        : exec_(&exec),
+          id_(id),
+          tm_ctx_(exec.tm_),
+          policy_(exec.shared_.make_thread_policy(id)) {
+      tm_ctx_.set_obs(exec.opts_.trace, id);
+    }
+
+    // Per-completed-transaction observability: one commit bump, the retry
+    // depth (hardware attempts consumed, 0 = straight to fallback), and the
+    // fallback counter/event when the SGL path was taken.
+    void obs_tx_done(CommitMode mode, core::TxTypeId tx,
+                     std::uint64_t attempts) noexcept {
+      obs::MetricsRegistry* m = exec_->opts_.metrics;
+      if (m != nullptr) {
+        m->add(exec_->m_commits_, id_);
+        m->observe(exec_->h_retry_depth_, id_, attempts);
+        if (mode == CommitMode::kSglFallback) m->add(exec_->m_sgl_fallbacks_, id_);
+      }
+      if (exec_->opts_.trace != nullptr && mode == CommitMode::kSglFallback) {
+        exec_->opts_.trace->emit(id_, obs::TraceKind::kSglFallback,
+                                 obs::now_ticks(), static_cast<std::uint64_t>(tx));
+      }
+    }
 
     template <typename Body>
     htm::AbortStatus hw_attempt(Body&& body) {
@@ -220,10 +260,28 @@ class ThreadedExecutor {
       const std::vector<std::unique_ptr<ThreadHandle>>& handles);
 
  private:
+  friend class ThreadHandle;
+
+  // Routes the executor-level obs sinks into the Seer scheduler unless the
+  // policy config already carries its own.
+  [[nodiscard]] static PolicyConfig with_obs(PolicyConfig policy, const Options& opts) {
+    if (policy.seer.metrics == nullptr) policy.seer.metrics = opts.metrics;
+    if (policy.seer.obs_trace == nullptr) policy.seer.obs_trace = opts.trace;
+    return policy;
+  }
+
   htm::SoftHtm& tm_;
   Options opts_;
   PolicyShared shared_;
   LockSpace locks_;
+
+  // Observability metric ids (registered in the constructor when
+  // opts_.metrics is set; kNoMetric otherwise).
+  obs::MetricId m_commits_ = obs::kNoMetric;
+  obs::MetricId m_sgl_fallbacks_ = obs::kNoMetric;
+  obs::MetricId h_retry_depth_ = obs::kNoMetric;
+  std::array<obs::MetricId, 4> m_aborts_{obs::kNoMetric, obs::kNoMetric,
+                                         obs::kNoMetric, obs::kNoMetric};
 };
 
 }  // namespace seer::rt

@@ -33,6 +33,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/policies.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/sim_lock.hpp"
@@ -85,6 +87,17 @@ struct MachineConfig {
   std::uint64_t seed = 1;
   rt::PolicyConfig policy{};
   CostModel costs{};
+
+  // --- observability (src/obs/, DESIGN.md §8) ----------------------------
+  // Optional sinks; the machine also routes them into the Seer scheduler
+  // (unless policy.seer carries its own) so one registry collects the whole
+  // stack. The embedder freezes the registry after constructing the machine
+  // and before run(). All machine-side recording is single-threaded and
+  // timestamps are simulated cycles, so metrics and traces are deterministic
+  // per (seed, config) — the property the --metrics jobs-invariance test
+  // pins down.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceSink* trace = nullptr;
 };
 
 struct MachineStats {
@@ -156,6 +169,7 @@ class Machine {
   void finish_tx(ThreadCtx& t, bool hardware);
   void release_one(ThreadCtx& t, rt::LockId id);
   void run_maintenance(ThreadCtx& t);
+  void record_abort_obs(const ThreadCtx& t, htm::AbortStatus status);
 
   [[nodiscard]] SimLock& lock_of(rt::LockId id) noexcept;
   [[nodiscard]] std::optional<core::ThreadId> sibling_of(core::ThreadId t) const noexcept;
@@ -170,6 +184,14 @@ class Machine {
 
   void push(Time at, core::ThreadId th, EventKind kind, std::uint64_t gen,
             rt::LockId lock = {});
+
+  // Routes cfg-level obs sinks into the embedded Seer scheduler before
+  // PolicyShared is constructed from the patched config.
+  [[nodiscard]] static MachineConfig with_obs(MachineConfig cfg) {
+    if (cfg.policy.seer.metrics == nullptr) cfg.policy.seer.metrics = cfg.metrics;
+    if (cfg.policy.seer.obs_trace == nullptr) cfg.policy.seer.obs_trace = cfg.trace;
+    return cfg;
+  }
 
   MachineConfig cfg_;
   std::unique_ptr<Workload> workload_;
@@ -186,6 +208,15 @@ class Machine {
   std::vector<std::unique_ptr<ThreadCtx>> threads_;
   std::size_t done_count_ = 0;
   MachineStats stats_;
+
+  // Observability metric ids (registered in the constructor when
+  // cfg_.metrics is set; kNoMetric otherwise).
+  obs::MetricId m_commits_ = obs::kNoMetric;
+  obs::MetricId m_hw_attempts_ = obs::kNoMetric;
+  obs::MetricId m_sgl_fallbacks_ = obs::kNoMetric;
+  obs::MetricId h_queue_depth_ = obs::kNoMetric;
+  std::array<obs::MetricId, 4> m_aborts_{obs::kNoMetric, obs::kNoMetric,
+                                         obs::kNoMetric, obs::kNoMetric};
 };
 
 // Convenience: build, run, return.

@@ -83,7 +83,9 @@ class Xoshiro256 {
   constexpr bool bernoulli(double p) noexcept { return uniform01() < p; }
 
   // Derive an independent child generator (for per-thread streams).
-  constexpr Xoshiro256 split() noexcept { return Xoshiro256(next() ^ 0xa02be1badb0d5eedULL); }
+  constexpr Xoshiro256 split() noexcept {
+    return Xoshiro256(next() ^ 0xa02be1badb0d5eedULL);
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

@@ -148,6 +148,49 @@ TEST(BenchRunner, WriteJsonEmitsOneRecordPerCellAndSeed) {
   std::remove(opts.json_path.c_str());
 }
 
+TEST(BenchRunner, MetricsOutputIsByteIdenticalForAnyJobsCount) {
+  // The --metrics contract: each run owns its registry, registration order
+  // is fixed, the simulator is single-threaded per run — so the serialized
+  // snapshots depend only on (cell, seed), never on worker scheduling.
+  const std::vector<Cell> cells = fig3_slice();
+
+  auto metrics_file = [&](int jobs, const std::string& path) {
+    Options opts = tiny_options();
+    opts.jobs = jobs;
+    opts.metrics_path = path;
+    const auto results = run_cells(cells, opts);
+    write_metrics_json("fig3_slice", cells, results, opts);
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::remove(path.c_str());
+    return ss.str();
+  };
+
+  const std::string serial =
+      metrics_file(1, ::testing::TempDir() + "bench_metrics_j1.json");
+  const std::string pooled =
+      metrics_file(8, ::testing::TempDir() + "bench_metrics_j8.json");
+  EXPECT_EQ(serial, pooled) << "--metrics must be --jobs invariant, byte for byte";
+#if SEER_OBS_ENABLED
+  EXPECT_NE(serial.find("\"sim.commits\""), std::string::npos);
+  EXPECT_NE(serial.find("\"seer.announces\""), std::string::npos);
+  EXPECT_NE(serial.find("\"sim.queue_depth\""), std::string::npos);
+#endif
+}
+
+TEST(BenchRunner, MetricsSkippedWhenPathEmpty) {
+  Options opts = tiny_options();
+  opts.jobs = 2;
+  const auto results = run_cells(fig3_slice(), opts);
+  for (const auto& cell : results) {
+    for (const auto& r : cell.runs) {
+      EXPECT_TRUE(r.metrics.empty()) << "no --metrics, no snapshot cost";
+    }
+  }
+}
+
 TEST(BenchRunner, EmptyJsonPathIsNoOp) {
   const std::vector<Cell> cells;
   const std::vector<CellResult> results;

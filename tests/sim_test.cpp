@@ -284,7 +284,9 @@ TEST(Machine, DeterministicForSameSeed) {
 }
 
 TEST(Machine, DifferentSeedsDiverge) {
-  const auto wl = [] { return std::make_unique<SyntheticWorkload>(all_conflict_params()); };
+  const auto wl = [] {
+    return std::make_unique<SyntheticWorkload>(all_conflict_params());
+  };
   auto cfg = base_config(rt::PolicyKind::kRtm, 6);
   const MachineStats a = run_machine(cfg, wl());
   cfg.seed = 999;
