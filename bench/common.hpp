@@ -35,6 +35,7 @@ struct Options {
   std::string json_path;    // per-config machine-readable results (--json)
   std::string metrics_path; // per-run MetricsRegistry snapshots (--metrics)
   std::string trace_path;   // Chrome trace_event JSON of cell 0 (--trace)
+  std::string snapshots_path;  // per-run flight-recorder dumps (--snapshots)
   std::vector<std::string> workloads;  // empty = all eight
 
   static Options parse(int argc, char** argv) {
@@ -62,12 +63,14 @@ struct Options {
         o.metrics_path = next();
       } else if (arg == "--trace") {
         o.trace_path = next();
+      } else if (arg == "--snapshots") {
+        o.snapshots_path = next();
       } else if (arg == "--workload") {
         o.workloads.push_back(next());
       } else if (arg == "--help" || arg == "-h") {
         std::printf(
             "options: --runs N  --txs-scale F  --seed S  --jobs N  "
-            "--json PATH  --metrics PATH  --trace PATH  "
+            "--json PATH  --metrics PATH  --trace PATH  --snapshots PATH  "
             "--workload NAME (repeatable)\n");
         std::exit(0);
       } else {

@@ -9,8 +9,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <utility>
 
 #include "core/seer_scheduler.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -91,6 +93,77 @@ void BM_SchedulerRecordCommit_Metrics(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SchedulerRecordCommit_Metrics);
+
+// Flight recorder contract (DESIGN.md §9): attaching one must not change the
+// per-transaction path at all — the recorder is fed only at rebuilds and on
+// the SGL fallback path. This variant should measure the same as _Detached;
+// any gap means recorder state leaked onto the commit path.
+void BM_SchedulerRecordCommit_Recorder(benchmark::State& state) {
+  obs::FlightRecorder rec;
+  core::SeerConfig cfg;
+  cfg.n_threads = 8;
+  cfg.n_types = 8;
+  cfg.recorder = &rec;
+  core::SeerScheduler sched(cfg);
+  for (core::ThreadId i = 1; i < 8; ++i) {
+    sched.announce(i, static_cast<core::TxTypeId>(i % 4));
+  }
+  for (auto _ : state) {
+    sched.record_commit(0, 2);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerRecordCommit_Recorder);
+
+// The capture itself: merging 8 threads' stats slabs, copying the scheme,
+// and reading the climber — the cost paid once per *retained* rebuild, off
+// the transaction path entirely. Populates the slabs first so the merge
+// walks real (non-zero) matrices.
+void BM_ModelSnapshot(benchmark::State& state) {
+  obs::FlightRecorder rec;
+  core::SeerConfig cfg;
+  cfg.n_threads = 8;
+  cfg.n_types = 8;
+  cfg.recorder = &rec;
+  core::SeerScheduler sched(cfg);
+  for (core::ThreadId t = 0; t < 8; ++t) {
+    sched.announce(t, static_cast<core::TxTypeId>(t % 4));
+    for (int i = 0; i < 64; ++i) {
+      sched.record_abort(t, static_cast<core::TxTypeId>(i % 8));
+      sched.record_commit(t, static_cast<core::TxTypeId>(i % 8));
+    }
+  }
+  std::uint64_t now = 0;
+  for (auto _ : state) {
+    obs::ModelSnapshot snap = sched.make_model_snapshot(now++);
+    benchmark::DoNotOptimize(snap.commits);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModelSnapshot);
+
+// Snapshot serialization (end-of-run / dump path only).
+void BM_SnapshotToJson(benchmark::State& state) {
+  core::SeerConfig cfg;
+  cfg.n_threads = 8;
+  cfg.n_types = 8;
+  core::SeerScheduler sched(cfg);
+  for (core::ThreadId t = 0; t < 8; ++t) {
+    for (int i = 0; i < 64; ++i) {
+      sched.record_abort(t, static_cast<core::TxTypeId>(i % 8));
+      sched.record_commit(t, static_cast<core::TxTypeId>(i % 8));
+    }
+  }
+  const obs::ModelSnapshot snap = sched.make_model_snapshot(1);
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    snap.append_json(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotToJson);
 
 }  // namespace
 

@@ -10,6 +10,68 @@
 
 namespace seer::bench {
 
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+// Sparse victim-major dump of the simulator's exact conflict attribution —
+// the reference tools/seer_inspect scores the inferred scheme against.
+std::string ground_truth_json(const sim::MachineStats& s) {
+  const std::size_t n = s.commits_by_type.size();
+  std::string out = "{\"n_types\": ";
+  append_u64(out, n);
+  out += ", \"commits_by_type\": [";
+  for (std::size_t t = 0; t < n; ++t) {
+    if (t > 0) out += ", ";
+    append_u64(out, s.commits_by_type[t]);
+  }
+  out += "], \"conflicts\": [";
+  bool first = true;
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t a = 0; a < n; ++a) {
+      const std::uint64_t c = s.gt_conflicts[v * n + a];
+      if (c == 0) continue;
+      out += first ? "{\"x\": " : ", {\"x\": ";
+      append_u64(out, v);
+      out += ", \"y\": ";
+      append_u64(out, a);
+      out += ", \"count\": ";
+      append_u64(out, c);
+      out += "}";
+      first = false;
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string scheme_json(const std::vector<std::vector<core::TxTypeId>>& rows) {
+  std::string out = "[";
+  for (std::size_t x = 0; x < rows.size(); ++x) {
+    if (x > 0) out += ", ";
+    out += "[";
+    for (std::size_t j = 0; j < rows[x].size(); ++j) {
+      if (j > 0) out += ", ";
+      append_u64(out, rows[x][j]);
+    }
+    out += "]";
+  }
+  out += "]";
+  return out;
+}
+
+std::string params_json(const core::InferenceParams& p) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "{\"th1\": %.9g, \"th2\": %.9g}", p.th1, p.th2);
+  return buf;
+}
+
+}  // namespace
+
 CellResult run_cell(const Cell& cell, const Options& opts, obs::TraceSink* trace) {
   CellResult out;
   Summary& sum = out.summary;
@@ -18,6 +80,7 @@ CellResult run_cell(const Cell& cell, const Options& opts, obs::TraceSink* trace
   double census_median = 0.0;
   int census_runs = 0;
   const bool want_metrics = !opts.metrics_path.empty();
+  const bool want_snapshots = !opts.snapshots_path.empty();
   out.runs.reserve(static_cast<std::size_t>(opts.runs));
   for (int r = 0; r < opts.runs; ++r) {
     sim::MachineConfig cfg;
@@ -34,6 +97,10 @@ CellResult run_cell(const Cell& cell, const Options& opts, obs::TraceSink* trace
     obs::MetricsRegistry reg(cell.threads);
     if (want_metrics) cfg.metrics = &reg;
     if (trace != nullptr && r == 0) cfg.trace = trace;
+    // Same isolation story as the registry: one recorder per (cell, seed),
+    // fed only by this run's single-threaded simulator.
+    obs::FlightRecorder recorder;
+    if (want_snapshots) cfg.recorder = &recorder;
     sim::Machine machine(
         cfg, std::make_unique<stamp::SpecWorkload>(cell.info.spec(), cell.threads));
     reg.freeze();  // every component has registered by now
@@ -41,6 +108,12 @@ CellResult run_cell(const Cell& cell, const Options& opts, obs::TraceSink* trace
 
     RunRecord rec;
     if (want_metrics) rec.metrics = reg.snapshot().to_json();
+    if (want_snapshots) {
+      rec.flight = recorder.to_json();
+      rec.ground_truth = ground_truth_json(s);
+      rec.final_scheme = scheme_json(s.final_scheme);
+      rec.final_params = params_json(s.final_params);
+    }
     rec.seed = cfg.seed;
     rec.speedup = s.speedup();
     rec.commits = s.commits;
@@ -114,9 +187,25 @@ std::vector<CellResult> run_cells(const std::vector<Cell>& cells,
       opts.effective_jobs(), cells.size(), [&](std::size_t i) {
         return run_cell(cells[i], opts, i == 0 ? trace.get() : nullptr);
       });
-  if (trace != nullptr && !trace->write_chrome_json(opts.trace_path)) {
-    std::fprintf(stderr, "cannot open --trace path: %s\n", opts.trace_path.c_str());
-    std::exit(2);
+  if (trace != nullptr) {
+    if (!trace->write_chrome_json(opts.trace_path)) {
+      std::fprintf(stderr, "cannot open --trace path: %s\n", opts.trace_path.c_str());
+      std::exit(2);
+    }
+    if (trace->dropped() > 0) {
+      // The Chrome JSON is a suffix of reality; say so where the user will
+      // see it, naming the lanes that wrapped.
+      const std::vector<std::uint64_t> lane_drops = trace->dropped_per_lane();
+      std::fprintf(stderr,
+                   "WARNING: --trace ring overflowed, %llu events lost "
+                   "(per thread:",
+                   static_cast<unsigned long long>(trace->dropped()));
+      for (std::size_t t = 0; t < lane_drops.size(); ++t) {
+        std::fprintf(stderr, " %llu",
+                     static_cast<unsigned long long>(lane_drops[t]));
+      }
+      std::fprintf(stderr, "); raise the sink capacity or trace fewer cells\n");
+    }
   }
   return results;
 }
@@ -226,10 +315,58 @@ void write_metrics_json(const std::string& exhibit, const std::vector<Cell>& cel
   std::fclose(f);
 }
 
+void write_snapshots_json(const std::string& exhibit, const std::vector<Cell>& cells,
+                          const std::vector<CellResult>& results, const Options& opts) {
+  if (opts.snapshots_path.empty()) return;
+  if (cells.size() != results.size()) {
+    throw std::logic_error("write_snapshots_json: cells/results size mismatch");
+  }
+  std::FILE* f = std::fopen(opts.snapshots_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open --snapshots path: %s\n",
+                 opts.snapshots_path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"version\": 1,\n"
+               "  \"exhibit\": \"%s\",\n"
+               "  \"runs\": %d,\n"
+               "  \"txs_scale\": %g,\n"
+               "  \"base_seed\": %llu,\n"
+               "  \"results\": [\n",
+               exhibit.c_str(), opts.runs, opts.txs_scale,
+               static_cast<unsigned long long>(opts.base_seed));
+  bool first = true;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    const char* policy = cell.policy_label.empty()
+                             ? rt::to_string(cell.policy.kind)
+                             : cell.policy_label.c_str();
+    for (const RunRecord& r : results[i].runs) {
+      std::fprintf(f,
+                   "%s    {\"workload\": \"%s\", \"policy\": \"%s\", "
+                   "\"threads\": %zu, \"seed\": %llu, \"flight\": %s, "
+                   "\"ground_truth\": %s, \"final_scheme\": %s, "
+                   "\"final_params\": %s}",
+                   first ? "" : ",\n", cell.info.name.c_str(), policy,
+                   cell.threads, static_cast<unsigned long long>(r.seed),
+                   r.flight.empty() ? "{}" : r.flight.c_str(),
+                   r.ground_truth.empty() ? "{}" : r.ground_truth.c_str(),
+                   r.final_scheme.empty() ? "[]" : r.final_scheme.c_str(),
+                   r.final_params.empty() ? "{}" : r.final_params.c_str());
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
 void write_outputs(const std::string& exhibit, const std::vector<Cell>& cells,
                    const std::vector<CellResult>& results, const Options& opts) {
   write_json(exhibit, cells, results, opts);
   write_metrics_json(exhibit, cells, results, opts);
+  write_snapshots_json(exhibit, cells, results, opts);
 }
 
 }  // namespace seer::bench

@@ -40,6 +40,14 @@ struct RunRecord {
   // single-threaded and registration order is fixed, so the --metrics file
   // is byte-identical for any --jobs value.
   std::string metrics;
+  // Model-introspection dump of this run as JSON fragments (--snapshots
+  // only; empty otherwise). Deterministic per (cell, seed) by the same
+  // argument as `metrics`: the per-run FlightRecorder is private to the
+  // run and fed only from the single-threaded simulator.
+  std::string flight;        // FlightRecorder::to_json() object
+  std::string ground_truth;  // {"n_types": N, "conflicts": [{x,y,count}...]}
+  std::string final_scheme;  // locksToAcquire rows as a JSON array
+  std::string final_params;  // {"th1": ..., "th2": ...}
 };
 
 struct CellResult {
@@ -76,7 +84,14 @@ void write_json(const std::string& exhibit, const std::vector<Cell>& cells,
 void write_metrics_json(const std::string& exhibit, const std::vector<Cell>& cells,
                         const std::vector<CellResult>& results, const Options& opts);
 
-// write_json + write_metrics_json — what every exhibit main calls.
+// Writes opts.snapshots_path (no-op when empty): one flight-recorder dump +
+// simulator ground truth per (cell, seed), in cell order — the input format
+// of tools/seer_inspect (DESIGN.md §9). Byte-identical for any --jobs value.
+void write_snapshots_json(const std::string& exhibit, const std::vector<Cell>& cells,
+                          const std::vector<CellResult>& results, const Options& opts);
+
+// write_json + write_metrics_json + write_snapshots_json — what every
+// exhibit main calls.
 void write_outputs(const std::string& exhibit, const std::vector<Cell>& cells,
                    const std::vector<CellResult>& results, const Options& opts);
 

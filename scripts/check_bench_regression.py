@@ -6,17 +6,25 @@ file with one record per (workload, policy, threads, seed). This script
 compares every record's `commits_per_mcycle` — simulated commit throughput,
 deterministic per seed, so it is stable across machines and CI runners —
 against bench/baseline.json and fails when any record drops by more than the
-threshold (default 10%).
+tolerance (default 10%).
 
 Usage:
-  check_bench_regression.py [--baseline PATH] [--threshold 0.10]
-                            [--update] SMOKE_JSON [SMOKE_JSON ...]
+  check_bench_regression.py [--baseline PATH] [--tolerance 0.10]
+                            [--allow-missing] [--update]
+                            SMOKE_JSON [SMOKE_JSON ...]
 
   --update rewrites the baseline from the given smoke files instead of
   checking (run it after an intentional perf/behaviour change and commit the
   result).
 
-Exit codes: 0 ok, 1 regression found, 2 usage/malformed input.
+By default the record sets must match exactly: a baseline cell absent from
+the smoke files (a silently-vanished configuration) and a smoke cell absent
+from the baseline (an ungated new configuration) both fail the check with a
+message naming the cell. Pass --allow-missing when deliberately checking a
+subset (e.g. one exhibit's smoke file at a time).
+
+Exit codes: 0 ok, 1 regression or record-set mismatch, 2 usage/malformed
+input.
 """
 
 import argparse
@@ -27,6 +35,9 @@ import sys
 DEFAULT_BASELINE = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "bench", "baseline.json")
+
+KEY_FIELDS = ("workload", "policy", "threads", "seed")
+METRIC = "commits_per_mcycle"
 
 
 def load_records(paths):
@@ -40,14 +51,24 @@ def load_records(paths):
             print(f"error: cannot read {path}: {e}", file=sys.stderr)
             sys.exit(2)
         exhibit = doc.get("exhibit", os.path.basename(path))
-        for rec in doc.get("results", []):
-            key = "|".join(str(rec[k])
-                           for k in ("workload", "policy", "threads", "seed"))
+        for i, rec in enumerate(doc.get("results", [])):
+            absent = [k for k in KEY_FIELDS if k not in rec]
+            if absent or METRIC not in rec:
+                print(f"error: {path} results[{i}] lacks "
+                      f"{absent + ([METRIC] if METRIC not in rec else [])}",
+                      file=sys.stderr)
+                sys.exit(2)
+            key = "|".join(str(rec[k]) for k in KEY_FIELDS)
             key = f"{exhibit}|{key}"
             if key in records:
                 print(f"error: duplicate record {key}", file=sys.stderr)
                 sys.exit(2)
-            records[key] = float(rec["commits_per_mcycle"])
+            try:
+                records[key] = float(rec[METRIC])
+            except (TypeError, ValueError):
+                print(f"error: {path} results[{i}]: non-numeric {METRIC}: "
+                      f"{rec[METRIC]!r}", file=sys.stderr)
+                sys.exit(2)
     return records
 
 
@@ -56,8 +77,12 @@ def main():
     ap.add_argument("smoke_json", nargs="+",
                     help="--json output of a bench smoke run")
     ap.add_argument("--baseline", default=DEFAULT_BASELINE)
-    ap.add_argument("--threshold", type=float, default=0.10,
+    ap.add_argument("--tolerance", "--threshold", type=float, default=0.10,
+                    dest="tolerance",
                     help="max allowed fractional drop (default 0.10)")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="tolerate cells present in only one of "
+                         "baseline/smoke (subset checks)")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline instead of checking")
     args = ap.parse_args()
@@ -68,8 +93,8 @@ def main():
         return 2
 
     if args.update:
-        doc = {"threshold": args.threshold,
-               "metric": "commits_per_mcycle",
+        doc = {"tolerance": args.tolerance,
+               "metric": METRIC,
                "records": {k: current[k] for k in sorted(current)}}
         with open(args.baseline, "w", encoding="utf-8") as f:
             json.dump(doc, f, indent=2, sort_keys=False)
@@ -86,32 +111,47 @@ def main():
         return 2
 
     regressions = []
-    missing = [k for k in current if k not in baseline]
+    ungated = sorted(k for k in current if k not in baseline)
+    vanished = sorted(k for k in baseline if k not in current)
     for key, base in sorted(baseline.items()):
         if key not in current:
-            # Baseline entries absent from this invocation's smoke files are
-            # fine: CI may check one exhibit at a time.
             continue
         cur = current[key]
-        if base > 0 and cur < base * (1.0 - args.threshold):
+        if base > 0 and cur < base * (1.0 - args.tolerance):
             regressions.append((key, base, cur))
 
     checked = sum(1 for k in current if k in baseline)
     print(f"checked {checked} records against {args.baseline} "
-          f"(threshold {args.threshold:.0%})")
-    if missing:
-        # New configurations are informational: they gate nothing until the
-        # baseline is regenerated with --update.
-        print(f"note: {len(missing)} record(s) not in baseline, e.g. {missing[0]}")
+          f"(tolerance {args.tolerance:.0%})")
     if checked == 0:
         print("error: no smoke record matched the baseline — wrong files, or "
               "the baseline needs --update", file=sys.stderr)
         return 2
+
+    failed = False
+    for name, keys, hint in (
+            ("not in baseline", ungated,
+             "regenerate the baseline with --update to gate them"),
+            ("missing from smoke files", vanished,
+             "a configuration disappeared, or a smoke file was not passed")):
+        if not keys:
+            continue
+        if args.allow_missing:
+            print(f"note: {len(keys)} record(s) {name}, e.g. {keys[0]}")
+        else:
+            failed = True
+            print(f"MISSING: {len(keys)} record(s) {name} ({hint}):")
+            for k in keys[:10]:
+                print(f"  {k}")
+            if len(keys) > 10:
+                print(f"  ... and {len(keys) - 10} more")
+
     for key, base, cur in regressions:
         drop = 1.0 - cur / base
         print(f"REGRESSION {key}: {base:.3f} -> {cur:.3f} (-{drop:.1%})")
     if regressions:
-        print(f"{len(regressions)} regression(s) beyond {args.threshold:.0%}")
+        print(f"{len(regressions)} regression(s) beyond {args.tolerance:.0%}")
+    if regressions or failed:
         return 1
     print("ok: no regressions")
     return 0

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Tests for check_bench_regression.py (stdlib unittest; run directly or via
+`python3 -m unittest` — CI runs it in the build-test job)."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "check_bench_regression.py")
+
+
+def smoke_doc(records):
+    """records: list of (workload, policy, threads, seed, cpm) tuples."""
+    return {
+        "exhibit": "test_exhibit",
+        "runs": 1,
+        "results": [
+            {"workload": w, "policy": p, "threads": t, "seed": s,
+             "commits_per_mcycle": cpm}
+            for (w, p, t, s, cpm) in records
+        ],
+    }
+
+
+class CheckBenchRegressionTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_check(self, *argv):
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, *argv],
+            capture_output=True, text=True, check=False)
+        return proc.returncode, proc.stdout + proc.stderr
+
+    def make_baseline(self, smoke_path, name="baseline.json"):
+        baseline = os.path.join(self.tmp.name, name)
+        code, out = self.run_check("--baseline", baseline, "--update",
+                                   smoke_path)
+        self.assertEqual(code, 0, out)
+        return baseline
+
+    def test_identical_records_pass(self):
+        smoke = self.write("smoke.json",
+                           smoke_doc([("genome", "Seer", 8, 1000, 5.0)]))
+        baseline = self.make_baseline(smoke)
+        code, out = self.run_check("--baseline", baseline, smoke)
+        self.assertEqual(code, 0, out)
+        self.assertIn("ok: no regressions", out)
+
+    def test_regression_fails_with_message(self):
+        base_smoke = self.write("base.json",
+                                smoke_doc([("genome", "Seer", 8, 1000, 5.0)]))
+        baseline = self.make_baseline(base_smoke)
+        bad = self.write("bad.json",
+                         smoke_doc([("genome", "Seer", 8, 1000, 4.0)]))
+        code, out = self.run_check("--baseline", baseline, bad)
+        self.assertEqual(code, 1, out)
+        self.assertIn("REGRESSION", out)
+
+    def test_tolerance_flag_loosens_gate(self):
+        base_smoke = self.write("base.json",
+                                smoke_doc([("genome", "Seer", 8, 1000, 5.0)]))
+        baseline = self.make_baseline(base_smoke)
+        bad = self.write("bad.json",
+                         smoke_doc([("genome", "Seer", 8, 1000, 4.0)]))
+        code, out = self.run_check("--baseline", baseline,
+                                   "--tolerance", "0.5", bad)
+        self.assertEqual(code, 0, out)
+        # --threshold stays as a compatibility alias.
+        code, out = self.run_check("--baseline", baseline,
+                                   "--threshold", "0.5", bad)
+        self.assertEqual(code, 0, out)
+
+    def test_cell_missing_from_smoke_fails_clearly(self):
+        base_smoke = self.write("base.json", smoke_doc([
+            ("genome", "Seer", 8, 1000, 5.0),
+            ("genome", "HLE", 8, 1000, 3.0),
+        ]))
+        baseline = self.make_baseline(base_smoke)
+        partial = self.write("partial.json",
+                             smoke_doc([("genome", "Seer", 8, 1000, 5.0)]))
+        code, out = self.run_check("--baseline", baseline, partial)
+        self.assertEqual(code, 1, out)
+        self.assertIn("MISSING", out)
+        self.assertIn("HLE", out)
+        self.assertNotIn("Traceback", out)
+
+    def test_cell_missing_from_baseline_fails_clearly(self):
+        base_smoke = self.write("base.json",
+                                smoke_doc([("genome", "Seer", 8, 1000, 5.0)]))
+        baseline = self.make_baseline(base_smoke)
+        extra = self.write("extra.json", smoke_doc([
+            ("genome", "Seer", 8, 1000, 5.0),
+            ("intruder", "Seer", 8, 1000, 2.0),
+        ]))
+        code, out = self.run_check("--baseline", baseline, extra)
+        self.assertEqual(code, 1, out)
+        self.assertIn("MISSING", out)
+        self.assertIn("intruder", out)
+
+    def test_allow_missing_restores_subset_checks(self):
+        base_smoke = self.write("base.json", smoke_doc([
+            ("genome", "Seer", 8, 1000, 5.0),
+            ("genome", "HLE", 8, 1000, 3.0),
+        ]))
+        baseline = self.make_baseline(base_smoke)
+        partial = self.write("partial.json",
+                             smoke_doc([("genome", "Seer", 8, 1000, 5.0)]))
+        code, out = self.run_check("--baseline", baseline,
+                                   "--allow-missing", partial)
+        self.assertEqual(code, 0, out)
+        self.assertIn("note:", out)
+
+    def test_malformed_record_is_usage_error_not_traceback(self):
+        doc = smoke_doc([("genome", "Seer", 8, 1000, 5.0)])
+        del doc["results"][0]["commits_per_mcycle"]
+        smoke = self.write("broken.json", doc)
+        code, out = self.run_check(smoke)
+        self.assertEqual(code, 2, out)
+        self.assertIn("commits_per_mcycle", out)
+        self.assertNotIn("Traceback", out)
+
+    def test_non_numeric_metric_is_usage_error(self):
+        doc = smoke_doc([("genome", "Seer", 8, 1000, 5.0)])
+        doc["results"][0]["commits_per_mcycle"] = "fast"
+        smoke = self.write("broken.json", doc)
+        code, out = self.run_check(smoke)
+        self.assertEqual(code, 2, out)
+        self.assertIn("non-numeric", out)
+
+    def test_unreadable_smoke_file_is_usage_error(self):
+        code, out = self.run_check(os.path.join(self.tmp.name, "absent.json"))
+        self.assertEqual(code, 2, out)
+        self.assertIn("cannot read", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

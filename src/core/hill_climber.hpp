@@ -49,6 +49,18 @@ class HillClimber {
   [[nodiscard]] double best_score() const noexcept { return best_score_; }
   [[nodiscard]] std::uint64_t epochs() const noexcept { return epochs_; }
 
+  // One-shot view of the search state for introspection (model snapshots,
+  // convergence diagnostics in tools/seer_inspect).
+  struct State {
+    Point current;
+    Point best;
+    double best_score;
+    std::uint64_t epochs;
+  };
+  [[nodiscard]] State state() const noexcept {
+    return {candidate_, best_, best_score_, epochs_};
+  }
+
   // Reports the objective achieved while `current()` was active and
   // advances the search. Returns the next point to run with.
   Point feed(double score) {

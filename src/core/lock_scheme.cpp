@@ -27,6 +27,14 @@ std::size_t LockScheme::edge_count() const noexcept {
   return n;
 }
 
+std::vector<std::vector<TxTypeId>> LockScheme::to_rows() const {
+  std::vector<std::vector<TxTypeId>> out(rows_.size());
+  for (std::size_t x = 0; x < rows_.size(); ++x) {
+    out[x].assign(rows_[x].begin(), rows_[x].end());
+  }
+  return out;
+}
+
 std::shared_ptr<const LockScheme> build_lock_scheme(const GlobalStats& stats,
                                                     const InferenceParams& params) {
   const auto n = static_cast<TxTypeId>(stats.n_types);

@@ -47,6 +47,8 @@ class LockScheme {
   [[nodiscard]] bool empty() const noexcept;
   // Total number of (x, y) acquire edges — diagnostics for §5.2.
   [[nodiscard]] std::size_t edge_count() const noexcept;
+  // Plain-vector copy of every row (model snapshots, MachineStats export).
+  [[nodiscard]] std::vector<std::vector<TxTypeId>> to_rows() const;
 
  private:
   std::vector<LockRow> rows_;

@@ -27,6 +27,7 @@ SeerScheduler::SeerScheduler(const SeerConfig& cfg)
     h_scheme_edges_ = metrics_->histogram("seer.scheme_edges");
   }
   obs_trace_ = cfg_.obs_trace;
+  recorder_ = cfg_.recorder;
   if (cfg_.stats_decay < 1.0) {
     decayed_aborts_.assign(cfg.n_types * cfg.n_types, 0.0);
     decayed_commits_.assign(cfg.n_types * cfg.n_types, 0.0);
@@ -144,6 +145,42 @@ void SeerScheduler::rebuild(std::uint64_t now) {
     obs_trace_->emit(0, obs::TraceKind::kSchemeRebuild, now, next->edge_count());
   }
   std::atomic_store_explicit(&scheme_, std::move(next), std::memory_order_release);
+
+  // Flight-recorder feed: the cheap per-rebuild sample always goes in (it
+  // drives the anomaly detectors); the full model capture happens only when
+  // the recorder's trigger — periodic cadence or storm entry — fires.
+  if (recorder_ != nullptr) {
+    const obs::RebuildSample sample{now, rebuilds_, executions_seen(),
+                                    total_commits()};
+    if (recorder_->on_rebuild(sample)) {
+      recorder_->record(make_model_snapshot(now));
+    }
+  }
+}
+
+obs::ModelSnapshot SeerScheduler::make_model_snapshot(std::uint64_t now) const {
+  obs::ModelSnapshot snap;
+  snap.now = now;
+  snap.rebuild = rebuilds_;
+  snap.executions = executions_seen();
+  snap.commits = total_commits();
+  snap.sgl_fallbacks = recorder_ != nullptr ? recorder_->sgl_fallbacks() : 0;
+  snap.th1 = params_.th1;
+  snap.th2 = params_.th2;
+  const HillClimber::State hc = climber_.state();
+  snap.climber_cur_x = hc.current.x;
+  snap.climber_cur_y = hc.current.y;
+  snap.climber_best_x = hc.best.x;
+  snap.climber_best_y = hc.best.y;
+  snap.climber_best_score = hc.best_score;
+  snap.climber_epochs = hc.epochs;
+  GlobalStats merged = merged_stats();
+  snap.n_types = merged.n_types;
+  snap.aborts = std::move(merged.aborts);
+  snap.commit_pairs = std::move(merged.commits);
+  snap.execs = std::move(merged.executions);
+  snap.scheme = scheme()->to_rows();
+  return snap;
 }
 
 }  // namespace seer::core

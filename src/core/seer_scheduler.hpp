@@ -22,7 +22,9 @@
 #include "core/hill_climber.hpp"
 #include "core/lock_scheme.hpp"
 #include "core/types.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "util/cacheline.hpp"
 
@@ -79,6 +81,10 @@ struct SeerConfig {
   // event; with SEER_OBS=OFF the calls compile away entirely.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceSink* obs_trace = nullptr;
+  // Model flight recorder (src/obs/flight_recorder.hpp): fed once per scheme
+  // rebuild on the maintenance path; when its trigger fires the scheduler
+  // builds a full ModelSnapshot. Never consulted on the per-event hot path.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 // One scheduler-facing event, as a backend-agnostic value. The five calls
@@ -187,6 +193,15 @@ class SeerScheduler {
   [[nodiscard]] GlobalStats merged_stats() const;
   [[nodiscard]] std::uint64_t total_commits() const noexcept;
   [[nodiscard]] std::uint64_t executions_seen() const noexcept;
+  [[nodiscard]] HillClimber::State climber_state() const noexcept {
+    return climber_.state();
+  }
+
+  // Captures the full probabilistic model — merged matrices, thresholds,
+  // climber state, active scheme — as a ModelSnapshot. Maintenance-path
+  // cost (one slab merge + scheme copy); called for retained flight-recorder
+  // captures and end-of-run dumps, never per transaction.
+  [[nodiscard]] obs::ModelSnapshot make_model_snapshot(std::uint64_t now) const;
 
  private:
   void rebuild(std::uint64_t now);
@@ -200,6 +215,7 @@ class SeerScheduler {
   // Observability sinks (SeerConfig::metrics / obs_trace; dormant when null).
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceSink* obs_trace_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
   obs::MetricId m_announces_ = obs::kNoMetric;
   obs::MetricId m_aborts_ = obs::kNoMetric;
   obs::MetricId m_commits_ = obs::kNoMetric;

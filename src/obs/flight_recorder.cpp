@@ -1,0 +1,186 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#if SEER_OBS_ENABLED
+
+namespace seer::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_rate(std::string& out, double v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  out += buf;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig cfg) : cfg_(cfg) {
+  if (cfg_.capacity == 0) cfg_.capacity = 1;
+  ring_.reserve(cfg_.capacity);
+}
+
+bool FlightRecorder::detect(bool* in_anomaly, AnomalyEpisode::Kind kind,
+                            double rate, double enter, double exit_level,
+                            const RebuildSample& s) {
+  if (!*in_anomaly) {
+    if (rate < enter) return false;
+    *in_anomaly = true;
+    AnomalyEpisode ep;
+    ep.kind = kind;
+    ep.start_now = s.now;
+    ep.start_rebuild = s.rebuild;
+    ep.end_now = s.now;
+    ep.end_rebuild = s.rebuild;
+    ep.peak_rate = rate;
+    episodes_.push_back(ep);
+    return true;
+  }
+  // Inside an episode: extend it and apply the exit hysteresis.
+  for (auto it = episodes_.rbegin(); it != episodes_.rend(); ++it) {
+    if (it->kind != kind || !it->open) continue;
+    it->end_now = s.now;
+    it->end_rebuild = s.rebuild;
+    it->peak_rate = std::max(it->peak_rate, rate);
+    if (rate <= exit_level) {
+      it->open = false;
+      *in_anomaly = false;
+    }
+    break;
+  }
+  return false;
+}
+
+bool FlightRecorder::on_rebuild(const RebuildSample& s) {
+  const std::uint64_t sgl_now = sgl_fallbacks();
+  bool anomaly_entered = false;
+
+  if (has_window_) {
+    const std::uint64_t events = s.executions - last_sample_.executions;
+    if (events >= cfg_.min_window_events) {
+      const std::uint64_t commits = s.commits - last_sample_.commits;
+      const std::uint64_t sgl = sgl_now - sgl_at_last_sample_;
+      const double ev = static_cast<double>(events);
+      const double abort_rate =
+          1.0 - static_cast<double>(std::min(commits, events)) / ev;
+      const double sgl_rate = static_cast<double>(sgl) / ev;
+      anomaly_entered |=
+          detect(&in_abort_storm_, AnomalyEpisode::Kind::kAbortStorm, abort_rate,
+                 cfg_.abort_rate_enter, cfg_.abort_rate_exit, s);
+      anomaly_entered |=
+          detect(&in_sgl_storm_, AnomalyEpisode::Kind::kSglStorm, sgl_rate,
+                 cfg_.sgl_rate_enter, cfg_.sgl_rate_exit, s);
+      last_sample_ = s;
+      sgl_at_last_sample_ = sgl_now;
+    }
+    // Windows below min_window_events keep accumulating into the next one.
+  } else {
+    has_window_ = true;
+    last_sample_ = s;
+    sgl_at_last_sample_ = sgl_now;
+  }
+
+  if (anomaly_entered) {
+    pending_reason_ = SnapshotReason::kAnomaly;
+    last_capture_rebuild_ = s.rebuild;
+    return true;
+  }
+  if (cfg_.period != 0 &&
+      (captured_ == 0 || s.rebuild - last_capture_rebuild_ >= cfg_.period)) {
+    pending_reason_ = SnapshotReason::kPeriodic;
+    last_capture_rebuild_ = s.rebuild;
+    return true;
+  }
+  return false;
+}
+
+void FlightRecorder::push(ModelSnapshot&& snap) {
+  snap.seq = captured_;
+  if (ring_.size() < cfg_.capacity) {
+    ring_.push_back(std::move(snap));
+  } else {
+    ring_[static_cast<std::size_t>(captured_ % cfg_.capacity)] = std::move(snap);
+  }
+  ++captured_;
+}
+
+void FlightRecorder::record(ModelSnapshot&& snap) {
+  snap.reason = pending_reason_;
+  push(std::move(snap));
+}
+
+void FlightRecorder::record_final(ModelSnapshot&& snap) {
+  snap.reason = SnapshotReason::kFinal;
+  // Close still-open episodes at the final clock; `open` stays true in the
+  // dump so tools can tell "subsided" from "ran hot to the end".
+  for (AnomalyEpisode& ep : episodes_) {
+    if (ep.open) {
+      ep.end_now = snap.now;
+      ep.end_rebuild = snap.rebuild;
+    }
+  }
+  push(std::move(snap));
+}
+
+std::vector<const ModelSnapshot*> FlightRecorder::snapshots() const {
+  std::vector<const ModelSnapshot*> out;
+  out.reserve(ring_.size());
+  for (const ModelSnapshot& s : ring_) out.push_back(&s);
+  std::sort(out.begin(), out.end(),
+            [](const ModelSnapshot* a, const ModelSnapshot* b) {
+              return a->seq < b->seq;
+            });
+  return out;
+}
+
+std::string FlightRecorder::to_json() const {
+  std::string out = "{\"version\": ";
+  append_u64(out, kModelSnapshotVersion);
+  out += ", \"captured\": ";
+  append_u64(out, captured_);
+  out += ", \"dropped\": ";
+  append_u64(out, dropped());
+  out += ", \"snapshots\": [";
+  bool first = true;
+  for (const ModelSnapshot* s : snapshots()) {
+    if (!first) out += ", ";
+    first = false;
+    s->append_json(out);
+  }
+  out += "], \"anomalies\": [";
+  first = true;
+  for (const AnomalyEpisode& ep : episodes_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"kind\": \"";
+    out += to_string(ep.kind);
+    out += "\", \"start_now\": ";
+    append_u64(out, ep.start_now);
+    out += ", \"start_rebuild\": ";
+    append_u64(out, ep.start_rebuild);
+    out += ", \"end_now\": ";
+    append_u64(out, ep.end_now);
+    out += ", \"end_rebuild\": ";
+    append_u64(out, ep.end_rebuild);
+    out += ", \"peak_rate\": ";
+    append_rate(out, ep.peak_rate);
+    out += ", \"open\": ";
+    out += ep.open ? "true" : "false";
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace seer::obs
+
+#endif  // SEER_OBS_ENABLED

@@ -1,0 +1,175 @@
+// FlightRecorder — a bounded ring of ModelSnapshots plus an anomaly trigger,
+// the always-on "black box" for the Seer scheduler's learned model.
+//
+// The recorder never touches the per-transaction hot path. It is fed from
+// exactly two places:
+//   * note_sgl_fallback() — on the SGL fallback path (already the slow
+//     path by definition; one relaxed atomic increment);
+//   * on_rebuild() — once per scheme rebuild, on the designated maintenance
+//     thread, with the exact lifetime tallies the scheduler already holds.
+// on_rebuild() decides — from the capture period and the anomaly detectors —
+// whether the caller should build a full ModelSnapshot and record() it. The
+// expensive part (merging matrices, copying the scheme) therefore happens
+// only for rebuilds that are actually retained.
+//
+// Anomaly detection works on the *window* between consecutive rebuilds:
+//   abort storm — window abort rate (1 - commits/executions) crosses
+//       `abort_rate_enter`; re-arms when it falls below `abort_rate_exit`;
+//   SGL storm  — window SGL fallbacks per execution crosses
+//       `sgl_rate_enter`; re-arms below `sgl_rate_exit`.
+// Both detectors carry hysteresis so a rate hovering around the threshold
+// produces one episode, not a capture per rebuild. Entering an episode
+// forces a capture (reason "anomaly") regardless of the periodic cadence;
+// episodes record their [start, end] rebuild/clock bounds and peak rate.
+//
+// With SEER_OBS=OFF the class is an empty stub: on_rebuild() returns false
+// so the scheduler never builds a snapshot, and to_json() returns "{}".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs_config.hpp"
+#include "obs/snapshot.hpp"
+
+namespace seer::obs {
+
+struct FlightRecorderConfig {
+  // Snapshot ring capacity; older snapshots are overwritten (the drop count
+  // survives, like the TraceSink rings).
+  std::size_t capacity = 64;
+  // Capture every `period`-th rebuild; 0 disables periodic capture (anomaly
+  // and final captures still fire).
+  std::uint64_t period = 8;
+  // Abort-storm detector thresholds (window abort rate), with hysteresis.
+  double abort_rate_enter = 0.90;
+  double abort_rate_exit = 0.60;
+  // SGL-storm detector thresholds (window fallbacks per execution).
+  double sgl_rate_enter = 0.25;
+  double sgl_rate_exit = 0.05;
+  // Windows with fewer executions than this carry too little evidence to
+  // classify and are skipped by the detectors.
+  std::uint64_t min_window_events = 64;
+};
+
+// Per-rebuild feed for the trigger logic: exact lifetime tallies, cheap to
+// produce (the scheduler sums its raw slab counters anyway).
+struct RebuildSample {
+  std::uint64_t now = 0;
+  std::uint64_t rebuild = 0;
+  std::uint64_t executions = 0;
+  std::uint64_t commits = 0;
+};
+
+struct AnomalyEpisode {
+  enum class Kind : std::uint8_t { kAbortStorm, kSglStorm };
+  Kind kind = Kind::kAbortStorm;
+  std::uint64_t start_now = 0;
+  std::uint64_t start_rebuild = 0;
+  std::uint64_t end_now = 0;      // last rebuild observed inside the episode
+  std::uint64_t end_rebuild = 0;
+  double peak_rate = 0.0;
+  bool open = true;  // still above the exit threshold at end of run
+};
+
+[[nodiscard]] constexpr const char* to_string(AnomalyEpisode::Kind k) noexcept {
+  switch (k) {
+    case AnomalyEpisode::Kind::kAbortStorm: return "abort_storm";
+    case AnomalyEpisode::Kind::kSglStorm: return "sgl_storm";
+  }
+  return "?";
+}
+
+#if SEER_OBS_ENABLED
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig cfg = {});
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // --- feed (any thread; the SGL path is already slow) ---------------------
+  void note_sgl_fallback() noexcept {
+    sgl_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sgl_fallbacks() const noexcept {
+    return sgl_fallbacks_.load(std::memory_order_relaxed);
+  }
+
+  // --- trigger (designated maintenance thread only) ------------------------
+  // Returns true when the caller should build a ModelSnapshot for this
+  // rebuild and record() it; the reason to stamp is held internally.
+  [[nodiscard]] bool on_rebuild(const RebuildSample& s);
+
+  // Retains a snapshot, stamping its seq and the reason decided by the last
+  // on_rebuild() (record) or kFinal (record_final, which also closes any
+  // open anomaly episodes at the snapshot's clock).
+  void record(ModelSnapshot&& snap);
+  void record_final(ModelSnapshot&& snap);
+
+  // --- introspection / export (after the embedding quiesces) ---------------
+  [[nodiscard]] std::uint64_t captured() const noexcept { return captured_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return captured_ > ring_.size() ? captured_ - ring_.size() : 0;
+  }
+  // Retained snapshots in seq order (oldest first).
+  [[nodiscard]] std::vector<const ModelSnapshot*> snapshots() const;
+  [[nodiscard]] const std::vector<AnomalyEpisode>& episodes() const noexcept {
+    return episodes_;
+  }
+
+  // Versioned dump: {"version": 1, "captured": N, "dropped": N,
+  // "snapshots": [...], "anomalies": [...]}.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  void push(ModelSnapshot&& snap);
+  // One hysteresis detector step; returns true when the episode opens now.
+  bool detect(bool* in_anomaly, AnomalyEpisode::Kind kind, double rate,
+              double enter, double exit_level, const RebuildSample& s);
+
+  FlightRecorderConfig cfg_;
+  std::vector<ModelSnapshot> ring_;  // capacity-bounded, overwrite-oldest
+  std::uint64_t captured_ = 0;
+
+  std::atomic<std::uint64_t> sgl_fallbacks_{0};
+
+  // Trigger state (maintenance thread only).
+  SnapshotReason pending_reason_ = SnapshotReason::kPeriodic;
+  std::uint64_t last_capture_rebuild_ = 0;
+  bool has_window_ = false;
+  RebuildSample last_sample_{};
+  std::uint64_t sgl_at_last_sample_ = 0;
+  bool in_abort_storm_ = false;
+  bool in_sgl_storm_ = false;
+  std::vector<AnomalyEpisode> episodes_;
+};
+
+#else  // !SEER_OBS_ENABLED — zero-cost stubs with the identical surface.
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig = {}) {}
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void note_sgl_fallback() noexcept {}
+  [[nodiscard]] std::uint64_t sgl_fallbacks() const noexcept { return 0; }
+  [[nodiscard]] bool on_rebuild(const RebuildSample&) { return false; }
+  void record(ModelSnapshot&&) {}
+  void record_final(ModelSnapshot&&) {}
+  [[nodiscard]] std::uint64_t captured() const noexcept { return 0; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return 0; }
+  [[nodiscard]] std::vector<const ModelSnapshot*> snapshots() const { return {}; }
+  [[nodiscard]] const std::vector<AnomalyEpisode>& episodes() const noexcept {
+    static const std::vector<AnomalyEpisode> kEmpty;
+    return kEmpty;
+  }
+  [[nodiscard]] std::string to_json() const { return "{}"; }
+};
+
+#endif  // SEER_OBS_ENABLED
+
+}  // namespace seer::obs

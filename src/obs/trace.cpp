@@ -47,6 +47,16 @@ std::uint64_t TraceSink::dropped() const noexcept {
   return n;
 }
 
+std::vector<std::uint64_t> TraceSink::dropped_per_lane() const {
+  const std::uint64_t cap = mask_ + 1;
+  std::vector<std::uint64_t> out(lanes_.size(), 0);
+  for (std::size_t t = 0; t < lanes_.size(); ++t) {
+    const std::uint64_t h = lanes_[t]->head.load(std::memory_order_acquire);
+    if (h > cap) out[t] = h - cap;
+  }
+  return out;
+}
+
 std::vector<TraceEvent> TraceSink::drain_sorted() const {
   std::vector<TraceEvent> out;
   const std::uint64_t cap = mask_ + 1;
@@ -80,7 +90,18 @@ bool TraceSink::write_chrome_json(const std::string& path) const {
   std::vector<int> depth(lanes_.size(), 0);
   std::uint64_t last_ts = 0;
 
-  std::fprintf(f, "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n");
+  // seerMeta carries the sink's bookkeeping (ignored by Chrome/Perfetto,
+  // read by tools/seer_inspect): droppedPerThread nonzero means that lane's
+  // oldest events were overwritten and the trace is a suffix of reality.
+  const std::vector<std::uint64_t> lane_drops = dropped_per_lane();
+  std::fprintf(f,
+               "{\"displayTimeUnit\": \"ns\", \"seerMeta\": {\"emitted\": %" PRIu64
+               ", \"dropped\": %" PRIu64 ", \"droppedPerThread\": [",
+               emitted(), dropped());
+  for (std::size_t t = 0; t < lane_drops.size(); ++t) {
+    std::fprintf(f, "%s%" PRIu64, t > 0 ? ", " : "", lane_drops[t]);
+  }
+  std::fprintf(f, "]}, \"traceEvents\": [\n");
   bool first = true;
   auto emit_record = [&](const char* name, const char* ph, std::uint64_t ts,
                          core::ThreadId tid, std::uint64_t arg, bool instant) {
@@ -132,13 +153,14 @@ std::string TraceSink::summary() const {
     per_lane[e.thread][static_cast<std::size_t>(e.kind)]++;
   }
 
+  const std::vector<std::uint64_t> lane_drops = dropped_per_lane();
   std::string out = "thread";
   for (std::size_t k = 0; k < kKinds; ++k) {
     out += "  ";
     out += to_string(static_cast<TraceKind>(k));
   }
-  out += "\n";
-  char buf[64];
+  out += "  lost\n";
+  char buf[96];
   for (std::size_t t = 0; t < per_lane.size(); ++t) {
     std::snprintf(buf, sizeof buf, "%6zu", t);
     out += buf;
@@ -149,12 +171,21 @@ std::string TraceSink::summary() const {
                     per_lane[t][k]);
       out += buf;
     }
-    out += "\n";
+    std::snprintf(buf, sizeof buf, "  %4" PRIu64 "\n", lane_drops[t]);
+    out += buf;
   }
+  const std::uint64_t total_dropped = dropped();
   std::snprintf(buf, sizeof buf,
                 "emitted %" PRIu64 "  retained %zu  dropped %" PRIu64 "\n",
-                emitted(), drain_sorted().size(), dropped());
+                emitted(), drain_sorted().size(), total_dropped);
   out += buf;
+  if (total_dropped > 0) {
+    std::snprintf(buf, sizeof buf, "WARNING: %" PRIu64 " events lost",
+                  total_dropped);
+    out += buf;
+    out += " to ring wraparound; per-thread history is truncated "
+           "(raise trace capacity)\n";
+  }
   return out;
 }
 

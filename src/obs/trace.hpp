@@ -92,6 +92,9 @@ class TraceSink {
   [[nodiscard]] std::vector<TraceEvent> drain_sorted() const;
   // Events emitted but overwritten by wraparound, across all lanes.
   [[nodiscard]] std::uint64_t dropped() const noexcept;
+  // Same, resolved per lane — nonzero entries tell WHICH thread's history
+  // was truncated (summary() and tools/seer_inspect surface these).
+  [[nodiscard]] std::vector<std::uint64_t> dropped_per_lane() const;
   [[nodiscard]] std::uint64_t emitted() const noexcept;
   [[nodiscard]] std::size_t n_lanes() const noexcept { return lanes_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
@@ -126,6 +129,7 @@ class TraceSink {
   void emit(core::ThreadId, TraceKind, std::uint64_t, std::uint64_t) noexcept {}
   [[nodiscard]] std::vector<TraceEvent> drain_sorted() const { return {}; }
   [[nodiscard]] std::uint64_t dropped() const noexcept { return 0; }
+  [[nodiscard]] std::vector<std::uint64_t> dropped_per_lane() const { return {}; }
   [[nodiscard]] std::uint64_t emitted() const noexcept { return 0; }
   [[nodiscard]] std::size_t n_lanes() const noexcept { return 0; }
   [[nodiscard]] std::size_t capacity() const noexcept { return 0; }

@@ -267,6 +267,9 @@ class ThreadedExecutor {
   [[nodiscard]] static PolicyConfig with_obs(PolicyConfig policy, const Options& opts) {
     if (policy.seer.metrics == nullptr) policy.seer.metrics = opts.metrics;
     if (policy.seer.obs_trace == nullptr) policy.seer.obs_trace = opts.trace;
+    // LockSpace is sized from opts.physical_cores; SeerPolicy indexes its core
+    // slice with my_core_ = thread % seer.physical_cores, so keep them in sync.
+    policy.seer.physical_cores = opts.physical_cores;
     return policy;
   }
 

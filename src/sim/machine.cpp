@@ -48,6 +48,7 @@ Machine::Machine(MachineConfig cfg, std::unique_ptr<Workload> workload)
       core_locks_(cfg_.physical_cores) {
   assert(cfg_.n_threads > 0 && cfg_.n_threads <= 2 * cfg_.physical_cores);
   stats_.commits_by_type.assign(workload_->n_types(), 0);
+  stats_.gt_conflicts.assign(workload_->n_types() * workload_->n_types(), 0);
 
   if (cfg_.metrics != nullptr) {
     obs::MetricsRegistry& m = *cfg_.metrics;
@@ -136,11 +137,10 @@ MachineStats Machine::run() {
   if (auto* s = shared_.seer()) {
     stats_.final_params = s->params();
     stats_.scheme_rebuilds = s->rebuild_count();
-    const auto scheme = s->scheme();
-    stats_.final_scheme.resize(scheme->n_types());
-    for (core::TxTypeId x = 0; x < static_cast<core::TxTypeId>(scheme->n_types()); ++x) {
-      const auto& row = scheme->row(x);
-      stats_.final_scheme[static_cast<std::size_t>(x)].assign(row.begin(), row.end());
+    stats_.final_scheme = s->scheme()->to_rows();
+    // End-of-run model capture, whatever the periodic cadence last did.
+    if (cfg_.recorder != nullptr) {
+      cfg_.recorder->record_final(s->make_model_snapshot(now_));
     }
   }
   return stats_;
@@ -445,6 +445,10 @@ void Machine::abort_hw(ThreadCtx& t, htm::AbortStatus status) {
   record_abort_obs(t, status);
   if (status.cause() == htm::AbortCause::kConflict &&
       t.pending_culprit != core::kNoTx) {
+    // Ground truth the HTM would never reveal: who actually killed whom.
+    stats_.gt_conflicts[static_cast<std::size_t>(t.inst.type) *
+                            workload_->n_types() +
+                        static_cast<std::size_t>(t.pending_culprit)]++;
     t.policy->on_conflict_attribution(t.pending_culprit);
   }
   t.pending_culprit = core::kNoTx;
@@ -459,6 +463,7 @@ void Machine::sgl_granted(ThreadCtx& t) {
   t.st = ThreadCtx::St::kRunningSgl;
   ++t.gen;
   if (cfg_.metrics != nullptr) cfg_.metrics->add(m_sgl_fallbacks_, t.id);
+  if (cfg_.recorder != nullptr) cfg_.recorder->note_sgl_fallback();
   if (cfg_.trace != nullptr) {
     cfg_.trace->emit(t.id, obs::TraceKind::kSglFallback, now_,
                      static_cast<std::uint64_t>(t.inst.type));

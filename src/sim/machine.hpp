@@ -33,6 +33,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/policies.hpp"
@@ -98,6 +99,10 @@ struct MachineConfig {
   // pins down.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceSink* trace = nullptr;
+  // Model flight recorder: routed into the Seer scheduler (periodic/anomaly
+  // snapshots at rebuilds), fed SGL-fallback notes by the machine, and handed
+  // a final end-of-run capture. Null disables; stubbed under SEER_OBS=OFF.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 struct MachineStats {
@@ -118,6 +123,19 @@ struct MachineStats {
   // Final locksToAcquire rows: final_scheme[x] lists the lock owners
   // (transaction types) x acquires.
   std::vector<std::vector<core::TxTypeId>> final_scheme;
+  // Ground-truth conflict matrix (victim-major, n_types^2): materialized
+  // conflict aborts by (victim type, aggressor type). The simulator knows
+  // the aggressor precisely — information a commodity HTM never reveals —
+  // which is what lets tools/seer_inspect score Seer's *inferred* scheme
+  // for false serializations and missed conflicts against reality.
+  std::vector<std::uint64_t> gt_conflicts;
+
+  [[nodiscard]] std::uint64_t gt_conflict(core::TxTypeId victim,
+                                          core::TxTypeId aggressor,
+                                          std::size_t n_types) const noexcept {
+    return gt_conflicts[static_cast<std::size_t>(victim) * n_types +
+                        static_cast<std::size_t>(aggressor)];
+  }
 
   [[nodiscard]] double speedup() const noexcept {
     return makespan == 0 ? 0.0
@@ -190,6 +208,11 @@ class Machine {
   [[nodiscard]] static MachineConfig with_obs(MachineConfig cfg) {
     if (cfg.policy.seer.metrics == nullptr) cfg.policy.seer.metrics = cfg.metrics;
     if (cfg.policy.seer.obs_trace == nullptr) cfg.policy.seer.obs_trace = cfg.trace;
+    if (cfg.policy.seer.recorder == nullptr) cfg.policy.seer.recorder = cfg.recorder;
+    // core_locks_ is sized from cfg.physical_cores, and SeerPolicy indexes it
+    // with my_core_ = thread % seer.physical_cores; the two must agree or the
+    // policy hands out lock ids past the end of the array.
+    cfg.policy.seer.physical_cores = cfg.physical_cores;
     return cfg;
   }
 

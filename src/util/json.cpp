@@ -1,0 +1,286 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace seer::util::json {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> run(std::string* error) {
+    Value v;
+    if (!parse_value(v, 0)) {
+      report(error);
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      report(error);
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void skip_ws() noexcept {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  bool fail(const char* what) {
+    if (error_ == nullptr) {  // keep the first (innermost) diagnosis
+      error_ = what;
+      error_pos_ = pos_;
+    }
+    return false;
+  }
+
+  void report(std::string* error) const {
+    if (error == nullptr) return;
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "JSON parse error at offset %zu: %s",
+                  error_pos_, error_ != nullptr ? error_ : "invalid document");
+    *error = buf;
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (text_.size() - pos_ < len || text_.compare(pos_, len, word) != 0) {
+      return fail("invalid literal");
+    }
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_value(Value& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (eof()) return fail("unexpected end of input");
+    switch (peek()) {
+      case 'n':
+        out.type = Value::Type::kNull;
+        return literal("null", 4);
+      case 't':
+        out.type = Value::Type::kBool;
+        out.boolean = true;
+        return literal("true", 4);
+      case 'f':
+        out.type = Value::Type::kBool;
+        out.boolean = false;
+        return literal("false", 5);
+      case '"':
+        out.type = Value::Type::kString;
+        return parse_string(out.string);
+      case '[':
+        return parse_array(out, depth);
+      case '{':
+        return parse_object(out, depth);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) != 0 ||
+                      peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                      peek() == '+' || peek() == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    // strtod needs NUL termination; numbers are short, copy locally.
+    char buf[64];
+    const std::size_t len = pos_ - start;
+    if (len >= sizeof buf) return fail("number too long");
+    std::memcpy(buf, text_.data() + start, len);
+    buf[len] = '\0';
+    char* end = nullptr;
+    out.number = std::strtod(buf, &end);
+    if (end != buf + len) {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    out.type = Value::Type::kNumber;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (true) {
+      if (eof()) return fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return fail("control char in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) return fail("unterminated escape");
+      c = text_[pos_++];
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (!append_unicode(out)) return false;
+          break;
+        }
+        default: return fail("invalid escape");
+      }
+    }
+  }
+
+  bool append_unicode(std::string& out) {
+    unsigned cp = 0;
+    if (!read_hex4(cp)) return false;
+    // Surrogate pair?
+    if (cp >= 0xD800 && cp <= 0xDBFF && text_.size() - pos_ >= 2 &&
+        text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+      pos_ += 2;
+      unsigned lo = 0;
+      if (!read_hex4(lo)) return false;
+      if (lo >= 0xDC00 && lo <= 0xDFFF) {
+        cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+      } else {
+        return fail("invalid surrogate pair");
+      }
+    }
+    // UTF-8 encode.
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+    return true;
+  }
+
+  bool read_hex4(unsigned& out) {
+    if (text_.size() - pos_ < 4) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return fail("invalid \\u escape");
+      }
+    }
+    return true;
+  }
+
+  bool parse_array(Value& out, int depth) {
+    ++pos_;  // '['
+    out.type = Value::Type::kArray;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      Value elem;
+      if (!parse_value(elem, depth + 1)) return false;
+      out.array.push_back(std::move(elem));
+      skip_ws();
+      if (eof()) return fail("unterminated array");
+      const char c = text_[pos_++];
+      if (c == ']') return true;
+      if (c != ',') {
+        --pos_;
+        return fail("expected ',' or ']'");
+      }
+    }
+  }
+
+  bool parse_object(Value& out, int depth) {
+    ++pos_;  // '{'
+    out.type = Value::Type::kObject;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') return fail("expected object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (eof() || text_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      Value val;
+      if (!parse_value(val, depth + 1)) return false;
+      out.object.emplace_back(std::move(key), std::move(val));
+      skip_ws();
+      if (eof()) return fail("unterminated object");
+      const char c = text_[pos_++];
+      if (c == '}') return true;
+      if (c != ',') {
+        --pos_;
+        return fail("expected ',' or '}'");
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  const char* error_ = nullptr;
+  std::size_t error_pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text, std::string* error) {
+  return Parser(text).run(error);
+}
+
+std::optional<Value> parse_file(const std::string& path, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return parse(text, error);
+}
+
+}  // namespace seer::util::json

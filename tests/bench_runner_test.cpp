@@ -10,6 +10,7 @@
 #include <string>
 
 #include "bench/runner.hpp"
+#include "util/json.hpp"
 
 namespace seer::bench {
 namespace {
@@ -196,6 +197,125 @@ TEST(BenchRunner, EmptyJsonPathIsNoOp) {
   const std::vector<CellResult> results;
   Options opts = tiny_options();
   EXPECT_NO_THROW(write_json("noop", cells, results, opts));
+}
+
+namespace {
+
+std::string snapshots_file(const std::vector<Cell>& cells, int jobs,
+                           const std::string& path,
+                           std::uint32_t sample_period = 1) {
+  std::vector<Cell> patched = cells;
+  for (Cell& c : patched) c.policy.seer.stats_sample_period = sample_period;
+  Options opts = tiny_options();
+  opts.jobs = jobs;
+  opts.snapshots_path = path;
+  const auto results = run_cells(patched, opts);
+  write_snapshots_json("fig3_slice", patched, results, opts);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::remove(path.c_str());
+  return ss.str();
+}
+
+}  // namespace
+
+TEST(BenchRunner, SnapshotsOutputIsByteIdenticalForAnyJobsCount) {
+  // The --snapshots contract mirrors --metrics: each run owns its
+  // FlightRecorder, fed only by that run's single-threaded simulator, and
+  // serialization happens after the sweep in cell order — so the dump
+  // depends only on (cell, seed), never on worker scheduling.
+  const std::vector<Cell> cells = fig3_slice();
+  const std::string serial =
+      snapshots_file(cells, 1, ::testing::TempDir() + "bench_snap_j1.json");
+  const std::string two =
+      snapshots_file(cells, 2, ::testing::TempDir() + "bench_snap_j2.json");
+  const std::string pooled =
+      snapshots_file(cells, 8, ::testing::TempDir() + "bench_snap_j8.json");
+  EXPECT_EQ(serial, two) << "--snapshots must be --jobs invariant, byte for byte";
+  EXPECT_EQ(serial, pooled) << "--snapshots must be --jobs invariant, byte for byte";
+}
+
+TEST(BenchRunner, SnapshotsInvarianceHoldsWithSampledStats) {
+  // Deterministic stats sampling changes WHAT the model snapshots contain
+  // (scaled counters) but must not break the invariance: sampling decisions
+  // live inside the per-run slabs, keyed by the run's own seed.
+  const std::vector<Cell> cells = fig3_slice();
+  const std::string serial = snapshots_file(
+      cells, 1, ::testing::TempDir() + "bench_snap_sp_j1.json", 4);
+  const std::string pooled = snapshots_file(
+      cells, 8, ::testing::TempDir() + "bench_snap_sp_j8.json", 4);
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(BenchRunner, SnapshotsDumpIsValidVersionedJson) {
+  // The dump must parse as JSON in every build configuration; the flight
+  // objects are full under SEER_OBS=ON and empty ({}) under OFF, but the
+  // envelope (version, per-run records, ground truth) is always present —
+  // the simulator side of the introspection does not compile away.
+  const std::vector<Cell> cells = fig3_slice();
+  const std::string text =
+      snapshots_file(cells, 2, ::testing::TempDir() + "bench_snap_valid.json");
+
+  std::string err;
+  const auto doc = util::json::parse(text, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_EQ(doc->u64("version"), 1u);
+  const util::json::Value* results = doc->find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_TRUE(results->is_array());
+  const Options opts = tiny_options();
+  ASSERT_EQ(results->array.size(),
+            cells.size() * static_cast<std::size_t>(opts.runs));
+  bool saw_seer_flight = false;
+  for (const auto& run : results->array) {
+    const util::json::Value* flight = run.find("flight");
+    ASSERT_NE(flight, nullptr);
+    ASSERT_TRUE(flight->is_object());
+    const util::json::Value* gt = run.find("ground_truth");
+    ASSERT_NE(gt, nullptr);
+    EXPECT_GT(gt->u64("n_types"), 0u);
+    if (run.str("policy") == "Seer" && !flight->object.empty()) {
+      saw_seer_flight = true;
+      EXPECT_EQ(flight->u64("version"), 1u);
+      // End-of-run capture is unconditional: at least the final snapshot.
+      EXPECT_GE(flight->u64("captured"), 1u);
+      const util::json::Value* snaps = flight->find("snapshots");
+      ASSERT_NE(snaps, nullptr);
+      ASSERT_TRUE(snaps->is_array());
+      ASSERT_FALSE(snaps->array.empty());
+      EXPECT_EQ(snaps->array.back().str("reason"), "final");
+      // seq strictly increases across retained snapshots.
+      std::uint64_t prev_seq = 0;
+      bool first = true;
+      for (const auto& s : snaps->array) {
+        const std::uint64_t seq = s.u64("seq");
+        if (!first) {
+          EXPECT_GT(seq, prev_seq);
+        }
+        prev_seq = seq;
+        first = false;
+      }
+    }
+  }
+#if SEER_OBS_ENABLED
+  EXPECT_TRUE(saw_seer_flight) << "Seer runs must carry flight dumps";
+#else
+  EXPECT_FALSE(saw_seer_flight) << "OFF builds dump empty flight objects";
+#endif
+}
+
+TEST(BenchRunner, SnapshotsSkippedWhenPathEmpty) {
+  Options opts = tiny_options();
+  opts.jobs = 2;
+  const auto results = run_cells(fig3_slice(), opts);
+  for (const auto& cell : results) {
+    for (const auto& r : cell.runs) {
+      EXPECT_TRUE(r.flight.empty()) << "no --snapshots, no recorder cost";
+      EXPECT_TRUE(r.ground_truth.empty());
+    }
+  }
 }
 
 }  // namespace

@@ -228,6 +228,47 @@ std::string write_and_read(const TraceSink& sink) {
   return ss.str();
 }
 
+TEST(TraceSink, DroppedPerLaneResolvesWhichRingWrapped) {
+  TraceSink sink(2, 4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    sink.emit(0, TraceKind::kTxCommit, i, 0);
+  }
+  sink.emit(1, TraceKind::kTxCommit, 99, 0);
+  const auto lanes = sink.dropped_per_lane();
+  ASSERT_EQ(lanes.size(), 2u);
+  EXPECT_EQ(lanes[0], 6u) << "10 emitted into a 4-slot ring";
+  EXPECT_EQ(lanes[1], 0u);
+  EXPECT_EQ(sink.dropped(), 6u);
+}
+
+TEST(TraceSink, SummaryWarnsWhenARingOverflowed) {
+  TraceSink quiet(1, 8);
+  quiet.emit(0, TraceKind::kTxCommit, 1, 0);
+  EXPECT_EQ(quiet.summary().find("WARNING"), std::string::npos);
+
+  TraceSink noisy(1, 4);
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    noisy.emit(0, TraceKind::kTxCommit, i, 0);
+  }
+  const std::string s = noisy.summary();
+  EXPECT_NE(s.find("WARNING"), std::string::npos) << s;
+  EXPECT_NE(s.find("dropped 5"), std::string::npos) << s;
+}
+
+TEST(TraceSink, ChromeJsonCarriesDropAccountingInSeerMeta) {
+  TraceSink sink(2, 4);
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    sink.emit(0, TraceKind::kTxCommit, i, 0);
+  }
+  sink.emit(1, TraceKind::kTxCommit, 50, 0);
+  const std::string json = write_and_read(sink);
+  validate_chrome_json(json);
+  EXPECT_NE(json.find("\"seerMeta\": {\"emitted\": 8, \"dropped\": 3, "
+                      "\"droppedPerThread\": [3, 0]}"),
+            std::string::npos)
+      << json;
+}
+
 TEST(TraceSink, ChromeJsonPairsSpansAndIsWellFormed) {
   TraceSink sink(2, 32);
   // Lane 0: begin -> abort -> begin -> commit (one retry).

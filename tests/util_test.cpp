@@ -9,6 +9,7 @@
 
 #include "util/cacheline.hpp"
 #include "util/gaussian.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/small_vec.hpp"
 #include "util/spinlock.hpp"
@@ -442,6 +443,87 @@ TEST(Padded, AccessorsWork) {
   EXPECT_EQ(*p, 41);
   *p += 1;
   EXPECT_EQ(p.value, 42);
+}
+
+// -------------------------------------------------------------- JSON ------
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(json::parse("null")->is_null());
+  EXPECT_TRUE(json::parse("true")->boolean);
+  EXPECT_FALSE(json::parse("false")->boolean);
+  EXPECT_DOUBLE_EQ(json::parse("-12.5e2")->number, -1250.0);
+  EXPECT_EQ(json::parse("\"hi\"")->string, "hi");
+  EXPECT_EQ(json::parse("9007199254740993")->as_u64(), 9007199254740992ull)
+      << "counters above 2^53 lose precision but stay finite";
+  EXPECT_EQ(json::parse("18446744073709551615")->as_u64(),
+            18446744073709551615ull)
+      << "2^64-1 rounds up to 2^64; as_u64 saturates instead of overflowing";
+}
+
+TEST(Json, ParsesNestedDocument) {
+  const auto v = json::parse(
+      R"({"version": 1, "items": [{"x": 3, "name": "a"}, {"x": 4}], "ok": true})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->u64("version"), 1u);
+  const json::Value* items = v->find("items");
+  ASSERT_NE(items, nullptr);
+  ASSERT_EQ(items->array.size(), 2u);
+  EXPECT_EQ(items->array[0].u64("x"), 3u);
+  EXPECT_EQ(items->array[0].str("name"), "a");
+  EXPECT_EQ(items->array[1].u64("x"), 4u);
+  EXPECT_TRUE(v->find("ok")->boolean);
+  EXPECT_EQ(v->find("absent"), nullptr);
+  EXPECT_EQ(v->u64("absent", 7), 7u);
+}
+
+TEST(Json, PreservesObjectOrderAndKeepsFirstDuplicate) {
+  const auto v = json::parse(R"({"b": 1, "a": 2, "b": 3})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->object.size(), 3u);
+  EXPECT_EQ(v->object[0].first, "b");
+  EXPECT_EQ(v->object[1].first, "a");
+  EXPECT_EQ(v->u64("b"), 1u) << "lookup keeps the first occurrence";
+}
+
+TEST(Json, DecodesStringEscapes) {
+  const auto v = json::parse(R"("a\"b\\c\n\tAé€")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->string, "a\"b\\c\n\tA\xc3\xa9\xe2\x82\xac");
+  const auto pair = json::parse(R"("😀")");  // surrogate pair
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(pair->string, "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformedInputWithOffset) {
+  std::string err;
+  EXPECT_FALSE(json::parse("", &err).has_value());
+  EXPECT_NE(err.find("offset"), std::string::npos) << err;
+  EXPECT_FALSE(json::parse("{\"a\": }", &err).has_value());
+  EXPECT_FALSE(json::parse("[1, 2", &err).has_value());
+  EXPECT_FALSE(json::parse("{\"a\" 1}", &err).has_value());
+  EXPECT_FALSE(json::parse("tru", &err).has_value());
+  EXPECT_FALSE(json::parse("1 2", &err).has_value()) << "trailing garbage";
+  EXPECT_FALSE(json::parse("\"unterminated", &err).has_value());
+  EXPECT_FALSE(json::parse("01x", &err).has_value());
+}
+
+TEST(Json, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  std::string err;
+  EXPECT_FALSE(json::parse(deep, &err).has_value());
+  EXPECT_NE(err.find("deep"), std::string::npos) << err;
+  // 32 levels is comfortably inside the guard.
+  std::string ok(32, '[');
+  ok += "1";
+  ok += std::string(32, ']');
+  EXPECT_TRUE(json::parse(ok).has_value());
+}
+
+TEST(Json, ParseFileReportsMissingFile) {
+  std::string err;
+  EXPECT_FALSE(json::parse_file("/nonexistent/x.json", &err).has_value());
+  EXPECT_NE(err.find("cannot open"), std::string::npos) << err;
 }
 
 }  // namespace
