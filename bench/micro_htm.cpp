@@ -1,6 +1,15 @@
 // Microbenchmarks of the SoftHtm software transactional backend.
+//
+// The multi-threaded variants (read-heavy, write-heavy, large-write-set,
+// read-own-writes at 1/2/4/8 threads) isolate the per-access bookkeeping
+// cost of the speculative hot path: every thread runs its own ThreadContext
+// over its own disjoint words, so conflicts are (hash collisions aside)
+// absent and ops/sec measures the TM's own overhead, not contention.
+// EXPERIMENTS.md records the before/after numbers for the O(1) access-path
+// rewrite; CI's bench-smoke job uploads this binary's JSON output.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "htm/soft_htm.hpp"
@@ -70,6 +79,91 @@ void BM_AbortRollback(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_AbortRollback);
+
+// ------------------------------------------------- multi-threaded variants --
+// One shared SoftHtm (shared clock + stripe table, as in any real embedding),
+// per-thread contexts, per-thread disjoint words.
+
+htm::SoftHtm& shared_tm() {
+  static htm::SoftHtm tm;
+  return tm;
+}
+
+// 256 reads of distinct words per transaction; read-only commit.
+void BM_MtReadHeavy(benchmark::State& state) {
+  constexpr std::size_t kWords = 256;
+  htm::SoftHtm& tm = shared_tm();
+  htm::SoftHtm::ThreadContext ctx(tm);
+  std::vector<htm::TmWord> words(kWords);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    const auto s = ctx.attempt([&](htm::SoftHtm::Tx& tx) {
+      for (auto& w : words) acc += tx.read(w);
+    });
+    benchmark::DoNotOptimize(acc);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * kWords);
+}
+BENCHMARK(BM_MtReadHeavy)->ThreadRange(1, 8)->UseRealTime();
+
+// 64 writes to distinct words per transaction: the write-set dedup path.
+void BM_MtWriteHeavy(benchmark::State& state) {
+  constexpr std::size_t kWords = 64;
+  htm::SoftHtm& tm = shared_tm();
+  htm::SoftHtm::ThreadContext ctx(tm);
+  std::vector<htm::TmWord> words(kWords);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    const auto s = ctx.attempt([&](htm::SoftHtm::Tx& tx) {
+      for (auto& w : words) tx.write(w, ++v);
+    });
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * kWords);
+}
+BENCHMARK(BM_MtWriteHeavy)->ThreadRange(1, 8)->UseRealTime();
+
+// 256 distinct writes per transaction, near the modelled L1d write capacity.
+void BM_MtLargeWriteSet(benchmark::State& state) {
+  constexpr std::size_t kWords = 256;
+  htm::SoftHtm& tm = shared_tm();
+  htm::SoftHtm::ThreadContext ctx(tm);
+  std::vector<htm::TmWord> words(kWords);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    const auto s = ctx.attempt([&](htm::SoftHtm::Tx& tx) {
+      for (auto& w : words) tx.write(w, ++v);
+    });
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * kWords);
+}
+BENCHMARK(BM_MtLargeWriteSet)->ThreadRange(1, 8)->UseRealTime();
+
+// Buffer 64 writes, then read each written word 4 times: every read is
+// satisfied from the write buffer (the read-own-writes probe).
+void BM_MtReadOwnWrites(benchmark::State& state) {
+  constexpr std::size_t kWords = 64;
+  constexpr std::size_t kRereads = 4;
+  htm::SoftHtm& tm = shared_tm();
+  htm::SoftHtm::ThreadContext ctx(tm);
+  std::vector<htm::TmWord> words(kWords);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    const auto s = ctx.attempt([&](htm::SoftHtm::Tx& tx) {
+      for (auto& w : words) tx.write(w, ++v);
+      for (std::size_t r = 0; r < kRereads; ++r) {
+        for (auto& w : words) acc += tx.read(w);
+      }
+    });
+    benchmark::DoNotOptimize(acc);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * kWords * kRereads);
+}
+BENCHMARK(BM_MtReadOwnWrites)->ThreadRange(1, 8)->UseRealTime();
 
 }  // namespace
 

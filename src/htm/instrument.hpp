@@ -16,10 +16,14 @@
 
 namespace seer::htm {
 
-// The transactional operations a fault can be attached to.
-enum class TxOp : std::uint8_t { kBegin, kRead, kWrite, kCommit };
+// The transactional operations a fault can be attached to. kSubscribe is
+// the lock-word subscription (Tx::subscribe) — on real TSX the fallback
+// lock sits in the transaction's read set, so its acquisition is exactly
+// as abortable as any other speculative access and fault plans must be
+// able to pin aborts to it.
+enum class TxOp : std::uint8_t { kBegin, kRead, kWrite, kCommit, kSubscribe };
 
-inline constexpr std::size_t kTxOpCount = 4;
+inline constexpr std::size_t kTxOpCount = 5;
 
 [[nodiscard]] constexpr std::string_view to_string(TxOp op) noexcept {
   switch (op) {
@@ -27,6 +31,7 @@ inline constexpr std::size_t kTxOpCount = 4;
     case TxOp::kRead: return "read";
     case TxOp::kWrite: return "write";
     case TxOp::kCommit: return "commit";
+    case TxOp::kSubscribe: return "subscribe";
   }
   return "?";
 }

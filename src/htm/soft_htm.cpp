@@ -8,6 +8,7 @@ namespace seer::htm {
 
 SoftHtm::SoftHtm(Config cfg) : cfg_(cfg) {
   assert(std::has_single_bit(cfg_.stripes) && "stripe count must be a power of two");
+  assert(cfg_.stripes <= (1ULL << 31) && "stripe indices must fit in 32 bits");
   stripe_mask_ = cfg_.stripes - 1;
   stripes_ = std::make_unique<util::Padded<std::atomic<std::uint64_t>>[]>(cfg_.stripes);
   for (std::size_t i = 0; i < cfg_.stripes; ++i) {
@@ -32,6 +33,19 @@ void SoftHtm::ThreadContext::begin() {
   writes_.clear();
   subs_.clear();
   read_log_.clear();
+  write_sig_.clear();
+  // One integer bump retires every stamp and index slot of the previous
+  // attempt. On the (once per 2^32 attempts) wraparound the tagged
+  // structures must forget their stale epochs, or a recycled epoch value
+  // would resurrect entries from 4 billion attempts ago.
+  if (++epoch_ == 0) {
+    std::fill_n(stamps_.get(), tm_.cfg_.stripes, 0);
+    write_index_.hard_reset();
+    read_words_.hard_reset();
+    epoch_ = 1;
+  }
+  write_index_.begin_epoch(epoch_);
+  read_words_.begin_epoch(epoch_);
   ++attempt_count_;
   op_index_ = 0;
   read_version_ = tm_.clock_.load(std::memory_order_acquire);
@@ -69,7 +83,16 @@ void SoftHtm::ThreadContext::maybe_fault(TxOp op) {
 }
 
 void SoftHtm::ThreadContext::check_subscriptions() {
-  for (const Subscription& s : subs_) {
+  const std::size_t n = subs_.size();
+  if (n == 0) return;
+  // Single-subscription fast path: the executor subscribes to exactly one
+  // word (the SGL fallback lock), so the per-access revalidation is one
+  // load/compare against inline members instead of a vector walk.
+  if (sub0_word_->load(std::memory_order_acquire) != sub0_expected_) {
+    abort_with(AbortStatus::conflict());
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    const Subscription& s = subs_[i];
     if (s.word->load(std::memory_order_acquire) != s.expected) {
       abort_with(AbortStatus::conflict());
     }
@@ -79,11 +102,18 @@ void SoftHtm::ThreadContext::check_subscriptions() {
 std::uint64_t SoftHtm::ThreadContext::do_read(const TmWord& w) {
   assert(active_);
   maybe_fault(TxOp::kRead);
-  // Read-own-writes: the write buffer wins over memory.
-  for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
-    if (it->addr == &w) return it->value;
+  // One address mix feeds everything below: the signature filter (top
+  // bits), the stripe map (low bits) and both index probes.
+  const std::uint64_t h = mix_addr(&w);
+  // Read-own-writes: the write buffer wins over memory. One AND/compare
+  // rules out the overwhelmingly common "not in my write set" case; a
+  // filter hit falls through to the exact O(1) index probe.
+  if (write_sig_.may_contain(h)) {
+    const std::uint32_t idx = write_index_.find(&w, h);
+    if (idx != AddrIndex::kNpos) return writes_[idx].value;
   }
-  std::atomic<std::uint64_t>& stripe = tm_.stripe_of(&w);
+  const auto si = static_cast<std::uint32_t>(h & tm_.stripe_mask_);
+  std::atomic<std::uint64_t>& stripe = tm_.stripe_at(si);
   const bool validate = tm_.cfg_.defect != Defect::kSkipReadValidation;
   // TL2 post-validated read: sample the stripe version, read the word,
   // re-check the stripe. Any concurrent commit to this stripe is caught.
@@ -99,9 +129,18 @@ std::uint64_t SoftHtm::ThreadContext::do_read(const TmWord& w) {
   }
   check_subscriptions();
   if (log_ != nullptr) read_log_.push_back(TxRead{&w, value});
-  reads_.push_back(ReadEntry{&stripe});
-  if (enforce_capacity_ && reads_.size() > tm_.cfg_.max_read_set) {
-    abort_with(AbortStatus::capacity());
+  // One L1-resident probe both dedups the read set and accounts capacity:
+  // a word seen before adds nothing (its stripe is already in reads_ and,
+  // per the L1d model, a resident line consumes no new capacity). A new
+  // word appends its stripe — two distinct words can share a stripe, which
+  // merely validates that stripe twice at commit. Keeping the big
+  // per-stripe stamp table off the read path matters: it is the one
+  // structure too large to stay cache-resident.
+  if (read_words_.find_or_insert(&w, si, h) == AddrIndex::kNpos) {
+    reads_.push_back(si);
+    if (enforce_capacity_ && reads_.size() > tm_.cfg_.max_read_set) {
+      abort_with(AbortStatus::capacity());
+    }
   }
   return value;
 }
@@ -109,13 +148,18 @@ std::uint64_t SoftHtm::ThreadContext::do_read(const TmWord& w) {
 void SoftHtm::ThreadContext::do_write(TmWord& w, std::uint64_t value) {
   assert(active_);
   maybe_fault(TxOp::kWrite);
-  for (auto& e : writes_) {
-    if (e.addr == &w) {
-      e.value = value;
-      return;
-    }
+  // One probe both dedups and claims the slot: an existing entry is
+  // overwritten in place, a new word appends to the buffer.
+  const std::uint64_t h = mix_addr(&w);
+  const std::uint32_t existing =
+      write_index_.find_or_insert(&w, static_cast<std::uint32_t>(writes_.size()), h);
+  if (existing != AddrIndex::kNpos) {
+    writes_[existing].value = value;
+    return;
   }
-  writes_.push_back(WriteEntry{&w, value, &tm_.stripe_of(&w)});
+  write_sig_.add(h);
+  writes_.push_back(
+      WriteEntry{&w, value, static_cast<std::uint32_t>(h & tm_.stripe_mask_)});
   if (enforce_capacity_ && writes_.size() > tm_.cfg_.max_write_set) {
     abort_with(AbortStatus::capacity());
   }
@@ -124,8 +168,13 @@ void SoftHtm::ThreadContext::do_write(TmWord& w, std::uint64_t value) {
 void SoftHtm::ThreadContext::do_subscribe(const std::atomic<std::uint64_t>& word,
                                           std::uint64_t expected) {
   assert(active_);
+  maybe_fault(TxOp::kSubscribe);
   if (word.load(std::memory_order_acquire) != expected) {
     abort_with(AbortStatus::conflict());
+  }
+  if (subs_.empty()) {
+    sub0_word_ = &word;
+    sub0_expected_ = expected;
   }
   subs_.push_back(Subscription{&word, expected});
 }
@@ -152,15 +201,25 @@ AbortStatus SoftHtm::ThreadContext::commit() {
     return AbortStatus(kXBeginStarted);
   }
 
-  // Acquire stripe locks in canonical (address) order; never block — a busy
-  // stripe means a concurrent committer, which an HTM would report as a
-  // conflict abort.
-  std::vector<WriteEntry*> order;
-  order.reserve(writes_.size());
-  for (auto& e : writes_) order.push_back(&e);
-  std::sort(order.begin(), order.end(), [](const WriteEntry* a, const WriteEntry* b) {
-    return a->stripe < b->stripe;
-  });
+  // The stripes to lock, deduplicated through the stamp table while the
+  // owned mark is planted — commit read-set validation below recognizes
+  // own-locked stripes with one stamp lookup instead of scanning the write
+  // set. lock_stripes_ is a reusable member: the commit path performs no
+  // heap allocation once warm.
+  lock_stripes_.clear();
+  for (const WriteEntry& e : writes_) {
+    if (!stamp_has(e.stripe, kStampOwned)) {
+      stamp_set(e.stripe, kStampOwned);
+      lock_stripes_.push_back(e.stripe);
+    }
+  }
+  // Canonical (stripe-index) order, deadlock-free across committers. Small
+  // write sets touch stripes in hash order, which is rarely sorted, but
+  // the is_sorted probe is cheap and spares the common already-sorted
+  // single-stripe and sequential-buffer cases the full sort.
+  if (!std::is_sorted(lock_stripes_.begin(), lock_stripes_.end())) {
+    std::sort(lock_stripes_.begin(), lock_stripes_.end());
+  }
 
   // NOTE: every abort below this point must release the stripes acquired so
   // far — a leaked stripe lock poisons that stripe forever (all later
@@ -168,39 +227,34 @@ AbortStatus SoftHtm::ThreadContext::commit() {
   std::size_t locked = 0;
   auto release_locked = [&]() noexcept {
     for (std::size_t i = 0; i < locked; ++i) {
-      std::atomic<std::uint64_t>* s = order[i]->stripe;
-      if (i > 0 && order[i - 1]->stripe == s) continue;  // dedup same stripe
-      s->fetch_and(~kLockedBit, std::memory_order_release);
+      tm_.stripe_at(lock_stripes_[i]).fetch_and(~kLockedBit, std::memory_order_release);
     }
   };
 
   try {
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      std::atomic<std::uint64_t>* s = order[i]->stripe;
-      if (i > 0 && order[i - 1]->stripe == s) {
-        ++locked;  // already own this stripe
-        continue;
-      }
-      std::uint64_t cur = s->load(std::memory_order_acquire);
+    // Acquire in canonical order; never block — a busy stripe means a
+    // concurrent committer, which an HTM would report as a conflict abort.
+    for (const std::uint32_t si : lock_stripes_) {
+      std::atomic<std::uint64_t>& s = tm_.stripe_at(si);
+      std::uint64_t cur = s.load(std::memory_order_acquire);
       if ((cur & kLockedBit) != 0 || cur > (read_version_ << 1) ||
-          !s->compare_exchange_strong(cur, cur | kLockedBit, std::memory_order_acq_rel)) {
+          !s.compare_exchange_strong(cur, cur | kLockedBit,
+                                     std::memory_order_acq_rel)) {
         release_locked();
         abort_with(AbortStatus::conflict());
       }
       ++locked;
     }
 
-    // Validate the read set against the read version (stripes we own pass
-    // by construction: we checked their version before locking).
+    // Validate the read set against the read version. reads_ holds each
+    // stripe once; a locked stripe is fine iff the lock is ours, which the
+    // owned stamp answers in O(1) (stripes we own passed the version check
+    // just before locking).
     if (tm_.cfg_.defect != Defect::kSkipCommitValidation) {
-      for (const ReadEntry& r : reads_) {
-        const std::uint64_t v = r.stripe->load(std::memory_order_acquire);
+      for (const std::uint32_t si : reads_) {
+        const std::uint64_t v = tm_.stripe_at(si).load(std::memory_order_acquire);
         if ((v & kLockedBit) != 0) {
-          const bool own =
-              std::any_of(order.begin(), order.end(), [&](const WriteEntry* e) {
-            return e->stripe == r.stripe;
-          });
-          if (!own) {
+          if (!stamp_has(si, kStampOwned)) {
             release_locked();
             abort_with(AbortStatus::conflict());
           }
@@ -226,10 +280,8 @@ AbortStatus SoftHtm::ThreadContext::commit() {
   for (const WriteEntry& e : writes_) {
     e.addr->store(e.value, std::memory_order_release);
   }
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    std::atomic<std::uint64_t>* s = order[i]->stripe;
-    if (i > 0 && order[i - 1]->stripe == s) continue;
-    s->store(wv << 1, std::memory_order_release);
+  for (const std::uint32_t si : lock_stripes_) {
+    tm_.stripe_at(si).store(wv << 1, std::memory_order_release);
   }
   if (log_ != nullptr) {
     TxRecord rec{.begin_version = read_version_,

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "htm/abort_code.hpp"
+#include "htm/access_set.hpp"
 #include "htm/instrument.hpp"
 #include "obs/trace.hpp"
 #include "util/cacheline.hpp"
@@ -98,9 +99,20 @@ class SoftHtm {
   };
 
   // Per-thread transaction machinery. Create one per thread; not shareable.
+  //
+  // Every per-access structure is O(1) and reusable across attempts
+  // (DESIGN.md §10): the write set is indexed by an open-addressed hash
+  // table behind a 64-bit signature filter (read-own-writes and write
+  // dedup in constant time), reads are deduplicated through an exact
+  // distinct-word index (one L1-resident probe doubles as the capacity
+  // account), owned stripes are marked at commit in an epoch-tagged
+  // stripe-stamp table (cleared by bumping the epoch, never memset), and
+  // the commit path sorts a reusable stripe list — zero heap allocations
+  // once the vectors and tables are warm.
   class ThreadContext {
    public:
-    explicit ThreadContext(SoftHtm& tm) : tm_(tm) {}
+    explicit ThreadContext(SoftHtm& tm)
+        : tm_(tm), stamps_(std::make_unique<std::uint64_t[]>(tm.cfg_.stripes)) {}
     ThreadContext(const ThreadContext&) = delete;
     ThreadContext& operator=(const ThreadContext&) = delete;
 
@@ -137,9 +149,19 @@ class SoftHtm {
     // True while a speculative attempt is executing (xtest analogue).
     [[nodiscard]] bool in_tx() const noexcept { return active_; }
 
-    // Introspection for tests.
+    // Introspection for tests: distinct words read / written this attempt —
+    // the quantity the capacity model caps (capacity models L1d words;
+    // re-accessing a word consumes no new capacity, exactly like TSX).
     [[nodiscard]] std::size_t read_set_size() const noexcept { return reads_.size(); }
     [[nodiscard]] std::size_t write_set_size() const noexcept { return writes_.size(); }
+
+    // Jumps the stamp/index epoch counter (tests only: exercising the
+    // wraparound path without running 2^32 attempts). The next begin()
+    // advances from this value.
+    void set_stamp_epoch_for_testing(std::uint32_t epoch) noexcept { epoch_ = epoch; }
+    [[nodiscard]] std::uint32_t stamp_epoch_for_testing() const noexcept {
+      return epoch_;
+    }
 
     // --- check-harness instrumentation (src/check/) ----------------------
     // Installs a deterministic fault injector consulted before every
@@ -163,18 +185,22 @@ class SoftHtm {
    private:
     friend class Tx;
 
-    struct ReadEntry {
-      const std::atomic<std::uint64_t>* stripe;
-    };
     struct WriteEntry {
       TmWord* addr;
       std::uint64_t value;
-      std::atomic<std::uint64_t>* stripe;
+      std::uint32_t stripe;  // index into tm_.stripes_
     };
     struct Subscription {
       const std::atomic<std::uint64_t>* word;
       std::uint64_t expected;
     };
+
+    // Stripe-stamp flag bits (stored in the low bits of a stamp; the
+    // current epoch lives in the bits above them). Deliberately touched
+    // only at commit time: the table is sized by the stripe count, too
+    // large to stay cache-resident, so the per-access paths must not walk
+    // it (see do_read).
+    static constexpr std::uint64_t kStampOwned = 2;  // commit locks this stripe
 
     void begin();
     AbortStatus commit();
@@ -187,13 +213,43 @@ class SoftHtm {
     void check_subscriptions();
     void maybe_fault(TxOp op);
 
+    [[nodiscard]] bool stamp_has(std::uint32_t stripe,
+                                 std::uint64_t flag) const noexcept {
+      const std::uint64_t s = stamps_[stripe];
+      return (s >> 2) == epoch_ && (s & flag) != 0;
+    }
+    void stamp_set(std::uint32_t stripe, std::uint64_t flag) noexcept {
+      std::uint64_t s = stamps_[stripe];
+      if ((s >> 2) != epoch_) s = static_cast<std::uint64_t>(epoch_) << 2;
+      stamps_[stripe] = s | flag;
+    }
+
     SoftHtm& tm_;
     bool active_ = false;
     bool enforce_capacity_ = true;
     std::uint64_t read_version_ = 0;
-    std::vector<ReadEntry> reads_;
+    // Read set: the stripe of each distinct word read (deduplicated by the
+    // read_words_ probe), which is all commit-time validation needs. Two
+    // words sharing a stripe contribute two entries; validation simply
+    // re-checks that stripe. The guarded pushes make reads_.size() exactly
+    // the distinct-word count, so it doubles as the capacity account (the
+    // model is L1d words, deliberately independent of the stripe count).
+    std::vector<std::uint32_t> reads_;
     std::vector<WriteEntry> writes_;
     std::vector<Subscription> subs_;
+    // O(1) access-path structures (all epoch-cleared, reused across
+    // attempts; see access_set.hpp and DESIGN.md §10).
+    AddrSignature write_sig_;
+    AddrIndex write_index_;  // word addr -> writes_ slot
+    AddrIndex read_words_;   // distinct-words-read set (payload: stripe index)
+    std::unique_ptr<std::uint64_t[]> stamps_;  // per-stripe (epoch<<2)|flags
+    std::uint32_t epoch_ = 0;    // bumped per begin(); 0 is never live
+    // Commit scratch (reused; member so the commit path never allocates).
+    std::vector<std::uint32_t> lock_stripes_;
+    // Single-subscription fast path: the executor subscribes to exactly one
+    // word (the SGL), so per-read revalidation is one load/compare.
+    const std::atomic<std::uint64_t>* sub0_word_ = nullptr;
+    std::uint64_t sub0_expected_ = 0;
     // Check-harness state (dormant unless installed).
     FaultInjector* fault_ = nullptr;
     TxLog* log_ = nullptr;
@@ -207,19 +263,21 @@ class SoftHtm {
 
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
 
+  // Which stripe a word maps to (mix the address; words 8 bytes apart land
+  // in different stripes). Public so tests can manufacture same-stripe
+  // word pairs deterministically.
+  [[nodiscard]] std::size_t stripe_index_of(const void* addr) const noexcept {
+    return mix_addr(addr) & stripe_mask_;
+  }
+
  private:
   friend class ThreadContext;
 
   // Versioned lock encoding: bit 0 = locked; bits 63..1 = version.
   static constexpr std::uint64_t kLockedBit = 1ULL;
 
-  [[nodiscard]] std::atomic<std::uint64_t>& stripe_of(const void* addr) noexcept {
-    // Mix the address; words 8 bytes apart land in different stripes.
-    auto h = reinterpret_cast<std::uintptr_t>(addr) >> 3;
-    h ^= h >> 17;
-    h *= 0x9e3779b97f4a7c15ULL;
-    h ^= h >> 32;
-    return stripes_[h & stripe_mask_].value;
+  [[nodiscard]] std::atomic<std::uint64_t>& stripe_at(std::size_t index) noexcept {
+    return stripes_[index].value;
   }
 
   Config cfg_;

@@ -90,6 +90,66 @@ TEST(FaultPlan, CommitFaultKillsAFinishedBody) {
   EXPECT_EQ(w.load(), 0u);
 }
 
+TEST(FaultPlan, SubscribeFaultFiresBeforeTheSubscriptionRegisters) {
+  // Tx::subscribe is a speculative access like any other — on real TSX the
+  // fallback lock sits in the read set, so a plan must be able to pin an
+  // abort to exactly the subscription point.
+  htm::SoftHtm tm;
+  htm::SoftHtm::ThreadContext ctx(tm);
+  FaultPlan plan;
+  plan.force(0, htm::TxOp::kSubscribe, 0, htm::AbortStatus::conflict());
+  ctx.set_fault_injector(&plan);
+  std::atomic<std::uint64_t> lock_word{0};
+  htm::TmWord w{0};
+  bool past_subscribe = false;
+  const htm::AbortStatus s = ctx.attempt([&](htm::SoftHtm::Tx& tx) {
+    tx.write(w, 1);
+    tx.subscribe(lock_word, 0);
+    past_subscribe = true;
+  });
+  EXPECT_FALSE(committed(s));
+  EXPECT_EQ(s.cause(), htm::AbortCause::kConflict);
+  EXPECT_FALSE(past_subscribe) << "the fault fires before subscribe completes";
+  EXPECT_EQ(w.load(), 0u) << "injected abort must roll back the buffered write";
+  EXPECT_EQ(plan.injected(htm::AbortCause::kConflict), 1u);
+
+  // The plan pinned attempt 0 only: the retry subscribes and commits.
+  const htm::AbortStatus retry = ctx.attempt([&](htm::SoftHtm::Tx& tx) {
+    tx.write(w, 1);
+    tx.subscribe(lock_word, 0);
+  });
+  EXPECT_TRUE(committed(retry));
+  EXPECT_EQ(w.load(), 1u);
+}
+
+TEST(FaultPlan, SubscribeFaultThroughExecutorLandsOnRetryPath) {
+  // The threaded executor's hardware path subscribes to the SGL word on
+  // every speculative attempt, so a kSubscribe-pinned fault exercises the
+  // hook exactly where production transactions hit it. The killed attempt
+  // must surface as a normal conflict to the policy, and the retry (or the
+  // fallback) still commits the body exactly once.
+  htm::SoftHtm tm;
+  rt::ThreadedExecutor::Options opts;
+  opts.n_threads = 1;
+  opts.n_types = 1;
+  opts.physical_cores = 2;
+  rt::PolicyConfig policy;
+  policy.kind = rt::PolicyKind::kRtm;
+  rt::ThreadedExecutor exec(tm, policy, opts);
+  auto h = exec.make_handle(0);
+  FaultPlan plan;
+  plan.force(0, htm::TxOp::kSubscribe, 0, htm::AbortStatus::conflict());
+  h->set_fault_injector(&plan);
+  htm::TmWord w{0};
+  (void)h->run(0, [&](auto& tx) { tx.write(w, tx.read(w) + 1); });
+  EXPECT_EQ(w.load(), 1u);
+  EXPECT_EQ(plan.injected(htm::AbortCause::kConflict), 1u)
+      << "the subscription fault fired exactly once";
+  const auto conflict_idx = static_cast<std::size_t>(htm::AbortCause::kConflict);
+  EXPECT_GT(h->counters().aborts_by_cause[conflict_idx], 0u)
+      << "the injected subscribe abort reached the policy's accounting";
+}
+
 TEST(FaultPlan, SeedReproducesInjectionSchedule) {
   // Identical (seed, op stream) pairs must produce identical injection
   // schedules — the property that makes failing property-test seeds replay.

@@ -354,5 +354,215 @@ TEST(SoftHtm, SubscribedTransactionsYieldToNonTransactionalWriter) {
   EXPECT_GE(data.load(), 0u);
 }
 
+// ------------------------------------- O(1) access-path structures ----
+// The constant-time write-set index, signature filter, stripe stamps and
+// distinct-word read accounting behind do_read/do_write (access_set.hpp,
+// DESIGN.md §10).
+
+TEST(SoftHtm, WriteSetIndexSurvivesGrowthAndCollisions) {
+  // 300 distinct words force the 64-slot AddrIndex through two growth
+  // rounds mid-transaction; read-own-writes and overwrite dedup must hold
+  // across every rehash.
+  SoftHtm tm;
+  SoftHtm::ThreadContext ctx(tm);
+  constexpr std::size_t kWords = 300;
+  std::vector<TmWord> words(kWords);
+  const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) {
+    for (std::size_t i = 0; i < kWords; ++i) tx.write(words[i], i + 1000);
+    for (std::size_t i = 0; i < kWords; ++i) {
+      if (tx.read(words[i]) != i + 1000) tx.abort(0x01);
+    }
+    // Second pass overwrites in place: the index must dedup, not append.
+    for (std::size_t i = 0; i < kWords; ++i) tx.write(words[i], i);
+    if (ctx.write_set_size() != kWords) tx.abort(0x02);
+    // Buffered reads never touch shared memory, so the read set stays empty.
+    if (ctx.read_set_size() != 0) tx.abort(0x03);
+  });
+  ASSERT_TRUE(committed(s));
+  for (std::size_t i = 0; i < kWords; ++i) EXPECT_EQ(words[i].load(), i);
+}
+
+TEST(SoftHtm, SignatureFalsePositiveFallsBackToExactProbe) {
+  // Two words sharing a filter bit: writing one makes the filter claim the
+  // other "may be mine"; the exact index probe must answer no and the read
+  // must come from memory.
+  SoftHtm tm;
+  SoftHtm::ThreadContext ctx(tm);
+  std::vector<TmWord> pool(65);  // 65 words, 64 filter bits: collision certain
+  std::size_t ci = 0;
+  std::size_t cj = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < pool.size() && !found; ++i) {
+    for (std::size_t j = i + 1; j < pool.size() && !found; ++j) {
+      if (AddrSignature::bit_of(&pool[i]) == AddrSignature::bit_of(&pool[j])) {
+        ci = i;
+        cj = j;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found) << "pigeonhole failed?";
+  TmWord& written = pool[ci];
+  TmWord& aliased = pool[cj];
+  aliased.store(77);
+  const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) {
+    tx.write(written, 11);
+    if (tx.read(aliased) != 77) tx.abort(0x01);  // filter hit, index miss
+    if (tx.read(written) != 11) tx.abort(0x02);  // genuine buffered read
+  });
+  ASSERT_TRUE(committed(s));
+  EXPECT_EQ(written.load(), 11u);
+  EXPECT_EQ(aliased.load(), 77u);
+}
+
+TEST(SoftHtm, StampEpochWraparoundDoesNotResurrectState) {
+  // The context's first attempt runs under epoch 1. Jumping the counter to
+  // its maximum makes the next begin() wrap to 0, which must hard-reset
+  // every epoch-tagged structure before recycling epoch 1 — otherwise the
+  // first attempt's index entries come back from the dead.
+  SoftHtm tm;
+  SoftHtm::ThreadContext ctx(tm);
+  TmWord w{0};
+  TmWord r{0};
+  TmWord other{0};
+  const AbortStatus first = ctx.attempt([&](SoftHtm::Tx& tx) {
+    tx.write(w, 42);
+    (void)tx.read(r);
+    tx.abort(0x01);  // populate the indices under epoch 1, publish nothing
+  });
+  ASSERT_FALSE(committed(first));
+  EXPECT_EQ(ctx.stamp_epoch_for_testing(), 1u);
+
+  ctx.set_stamp_epoch_for_testing(0xFFFFFFFFu);
+  const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) {
+    // A resurrected read_words_ entry would swallow this read's accounting.
+    (void)tx.read(r);
+    if (ctx.read_set_size() != 1) tx.abort(0x02);
+    // A resurrected write_index_ entry for w (slot 0 under the stale epoch
+    // 1) would redirect this write into `other`'s buffer slot.
+    tx.write(other, 5);
+    tx.write(w, 7);
+    if (ctx.write_set_size() != 2) tx.abort(0x03);
+  });
+  ASSERT_TRUE(committed(s));
+  EXPECT_EQ(ctx.stamp_epoch_for_testing(), 1u) << "wrap lands on epoch 1 again";
+  EXPECT_EQ(w.load(), 7u);
+  EXPECT_EQ(other.load(), 5u);
+  EXPECT_EQ(r.load(), 0u);
+}
+
+TEST(SoftHtm, ReReadsConsumeNoReadCapacity) {
+  // The capacity model is distinct L1d words: re-reading a resident word
+  // must be free, no matter how often (re-reads were what the seed's
+  // per-access accounting overcounted).
+  SoftHtm tm(SoftHtm::Config{.max_read_set = 4, .max_write_set = 8});
+  SoftHtm::ThreadContext ctx(tm);
+  std::vector<TmWord> words(4);
+  const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) {
+    for (int round = 0; round < 100; ++round) {
+      for (auto& w : words) (void)tx.read(w);
+    }
+    if (ctx.read_set_size() != words.size()) tx.abort(0x01);
+  });
+  EXPECT_TRUE(committed(s));
+
+  // One more distinct word crosses the cap.
+  TmWord extra{0};
+  const AbortStatus over = ctx.attempt([&](SoftHtm::Tx& tx) {
+    for (auto& w : words) (void)tx.read(w);
+    (void)tx.read(extra);
+  });
+  EXPECT_FALSE(committed(over));
+  EXPECT_EQ(over.cause(), AbortCause::kCapacity);
+}
+
+// --------------------------------- duplicate-stripe commit accounting ----
+
+// Two words hashing to the same stripe must acquire that stripe's lock
+// exactly once, and an abort part-way through acquisition must release
+// exactly the acquired prefix — a leaked lock poisons the stripe forever,
+// a double-release corrupts a later owner's lock bit.
+TEST(SoftHtm, SameStripeWritesCommitThroughOneLock) {
+  SoftHtm tm(SoftHtm::Config{.stripes = 2});
+  SoftHtm::ThreadContext ctx(tm);
+  std::vector<TmWord> pool(32);
+  TmWord* s0_a = nullptr;
+  TmWord* s0_b = nullptr;
+  for (auto& w : pool) {
+    if (tm.stripe_index_of(&w) != 0) continue;
+    if (s0_a == nullptr) {
+      s0_a = &w;
+    } else if (s0_b == nullptr) {
+      s0_b = &w;
+    }
+  }
+  ASSERT_NE(s0_a, nullptr);
+  ASSERT_NE(s0_b, nullptr);
+  const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) {
+    tx.write(*s0_a, 1);
+    tx.write(*s0_b, 2);
+  });
+  ASSERT_TRUE(committed(s));
+  EXPECT_EQ(s0_a->load(), 1u);
+  EXPECT_EQ(s0_b->load(), 2u);
+  // The stripe lock was fully released: an immediate retouch commits.
+  EXPECT_TRUE(committed(ctx.attempt([&](SoftHtm::Tx& tx) { tx.write(*s0_a, 3); })));
+}
+
+TEST(SoftHtm, MidAcquisitionAbortReleasesExactlyTheAcquiredStripes) {
+  SoftHtm tm(SoftHtm::Config{.stripes = 2});
+  SoftHtm::ThreadContext a(tm);
+  SoftHtm::ThreadContext b(tm);
+  std::vector<TmWord> pool(32);
+  TmWord* s0_a = nullptr;
+  TmWord* s0_b = nullptr;
+  TmWord* s1_w = nullptr;
+  for (auto& w : pool) {
+    if (tm.stripe_index_of(&w) == 0) {
+      if (s0_a == nullptr) {
+        s0_a = &w;
+      } else if (s0_b == nullptr) {
+        s0_b = &w;
+      }
+    } else if (s1_w == nullptr) {
+      s1_w = &w;
+    }
+  }
+  ASSERT_NE(s0_a, nullptr);
+  ASSERT_NE(s0_b, nullptr);
+  ASSERT_NE(s1_w, nullptr);
+
+  // A writes both stripes (stripe 0 twice — deduplicated to one lock).
+  // Mid-body, B commits to stripe 1, bumping its version past A's read
+  // version: A's canonical-order acquisition takes stripe 0, then fails on
+  // stripe 1 and must release exactly stripe 0, exactly once.
+  const AbortStatus s = a.attempt([&](SoftHtm::Tx& tx) {
+    tx.write(*s0_a, 10);
+    tx.write(*s0_b, 11);
+    tx.write(*s1_w, 12);
+    const AbortStatus sb =
+        b.attempt([&](SoftHtm::Tx& txb) { txb.write(*s1_w, 99); });
+    ASSERT_TRUE(committed(sb));
+  });
+  EXPECT_FALSE(committed(s));
+  EXPECT_EQ(s.cause(), AbortCause::kConflict);
+  EXPECT_EQ(s0_a->load(), 0u) << "aborted writes must not publish";
+  EXPECT_EQ(s1_w->load(), 99u);
+
+  // Neither stripe leaked a lock: transactions touching both commit freely
+  // from either context.
+  EXPECT_TRUE(committed(a.attempt([&](SoftHtm::Tx& tx) {
+    tx.write(*s0_a, 1);
+    tx.write(*s1_w, 2);
+  })));
+  EXPECT_TRUE(committed(b.attempt([&](SoftHtm::Tx& tx) {
+    tx.write(*s0_b, 3);
+    tx.write(*s1_w, 4);
+  })));
+  EXPECT_EQ(s0_a->load(), 1u);
+  EXPECT_EQ(s0_b->load(), 3u);
+  EXPECT_EQ(s1_w->load(), 4u);
+}
+
 }  // namespace
 }  // namespace seer::htm
