@@ -165,6 +165,56 @@ void BM_MtReadOwnWrites(benchmark::State& state) {
 }
 BENCHMARK(BM_MtReadOwnWrites)->ThreadRange(1, 8)->UseRealTime();
 
+// ------------------------------------------------ tier-boundary variants --
+// The adaptive read-tracking boundary (DESIGN.md §10): transactions that do
+// NOT stay in Tier 0. These price the worst cases the tiering introduces —
+// a saturation-triggered promotion mid-transaction and a capacity-budget
+// promotion every transaction — so a regression in promote_reads or the
+// checkpoint path is as visible as one in the Tier-0 fast path.
+
+// ~1024 distinct reads: the 1024-bit read signature saturates partway
+// through (pop crosses 512 around read ~700), so every transaction pays one
+// saturation checkpoint scan cascade, one promotion replay, and runs its
+// tail reads through the exact index.
+void BM_MtReadPromoteSaturation(benchmark::State& state) {
+  constexpr std::size_t kWords = 1024;
+  htm::SoftHtm& tm = shared_tm();
+  htm::SoftHtm::ThreadContext ctx(tm);
+  std::vector<htm::TmWord> words(kWords);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    const auto s = ctx.attempt([&](htm::SoftHtm::Tx& tx) {
+      for (auto& w : words) acc += tx.read(w);
+    });
+    benchmark::DoNotOptimize(acc);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * kWords);
+}
+BENCHMARK(BM_MtReadPromoteSaturation)->ThreadRange(1, 8)->UseRealTime();
+
+// Reads exactly at the capacity budget, then one re-read: the log hits the
+// budget boundary and every transaction promotes (replay + dedup) without
+// aborting — the capacity-edge price of staying signature-only up to the
+// last possible read.
+void BM_MtReadPromoteCapacityEdge(benchmark::State& state) {
+  constexpr std::size_t kWords = 256;
+  static htm::SoftHtm tm{htm::SoftHtm::Config{.max_read_set = kWords}};
+  htm::SoftHtm::ThreadContext ctx(tm);
+  std::vector<htm::TmWord> words(kWords);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    const auto s = ctx.attempt([&](htm::SoftHtm::Tx& tx) {
+      for (auto& w : words) acc += tx.read(w);
+      acc += tx.read(words[0]);  // the budget-boundary read that promotes
+    });
+    benchmark::DoNotOptimize(acc);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * (kWords + 1));
+}
+BENCHMARK(BM_MtReadPromoteCapacityEdge)->ThreadRange(1, 8)->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

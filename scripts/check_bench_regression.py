@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
 """Gate bench-smoke throughput against the checked-in baseline.
 
-Each bench exhibit's smoke run (ctest label `bench_smoke`) writes a --json
-file with one record per (workload, policy, threads, seed). This script
-compares every record's `commits_per_mcycle` — simulated commit throughput,
-deterministic per seed, so it is stable across machines and CI runners —
-against bench/baseline.json and fails when any record drops by more than the
-tolerance (default 10%).
+Two input schemas are auto-detected per file:
+
+  * Exhibit JSON (the bench runner's --json): one record per (workload,
+    policy, threads, seed); the gated metric is `commits_per_mcycle` —
+    simulated commit throughput, deterministic per seed, so it is stable
+    across machines and CI runners. Gated against bench/baseline.json.
+  * google-benchmark JSON (a top-level "benchmarks" array, e.g. micro_htm's
+    --benchmark_out): one record per benchmark instance; the gated metric is
+    `items_per_second`. When the run used --benchmark_repetitions, only the
+    median aggregates are gated (keyed by run_name); otherwise the raw
+    iteration entries are (keyed by name). Wall-clock throughput IS
+    machine-dependent, so gate these against their own baseline
+    (bench/baseline_htm.json) with a noise-sized tolerance, not the default.
 
 Usage:
   check_bench_regression.py [--baseline PATH] [--tolerance 0.10]
@@ -38,11 +45,71 @@ DEFAULT_BASELINE = os.path.join(
 
 KEY_FIELDS = ("workload", "policy", "threads", "seed")
 METRIC = "commits_per_mcycle"
+GBENCH_METRIC = "items_per_second"
+
+
+def add_record(records, key, value, where):
+    if key in records:
+        print(f"error: duplicate record {key}", file=sys.stderr)
+        sys.exit(2)
+    try:
+        records[key] = float(value)
+    except (TypeError, ValueError):
+        print(f"error: {where}: non-numeric metric: {value!r}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def load_exhibit(path, doc, records):
+    """Bench-runner --json: 'exhibit|workload|policy|threads|seed' cells."""
+    exhibit = doc.get("exhibit", os.path.basename(path))
+    for i, rec in enumerate(doc.get("results", [])):
+        absent = [k for k in KEY_FIELDS if k not in rec]
+        if absent or METRIC not in rec:
+            print(f"error: {path} results[{i}] lacks "
+                  f"{absent + ([METRIC] if METRIC not in rec else [])}",
+                  file=sys.stderr)
+            sys.exit(2)
+        key = "|".join(str(rec[k]) for k in KEY_FIELDS)
+        add_record(records, f"{exhibit}|{key}", rec[METRIC],
+                   f"{path} results[{i}]")
+
+
+def load_gbench(path, doc, records):
+    """google-benchmark --benchmark_out JSON: 'binary|instance' cells.
+
+    With --benchmark_repetitions the file carries both the raw repetition
+    entries and mean/median/stddev/cv aggregates; gate only the medians
+    (keyed by run_name — the instance name without the aggregate suffix).
+    Without repetitions there are no aggregates and the raw entries are the
+    only, and gated, records.
+    """
+    exe = str((doc.get("context") or {}).get("executable", ""))
+    exhibit = os.path.basename(exe) or os.path.basename(path)
+    entries = doc.get("benchmarks", [])
+    medians = [b for b in entries if b.get("aggregate_name") == "median"]
+    chosen = medians if medians else [
+        b for b in entries if not b.get("aggregate_name")]
+    for i, b in enumerate(chosen):
+        name = b.get("run_name") or b.get("name")
+        if not name or GBENCH_METRIC not in b:
+            print(f"error: {path} benchmarks[{i}] lacks "
+                  f"{'a name' if not name else GBENCH_METRIC} "
+                  f"(pass --benchmark_counters_tabular-free output with "
+                  f"SetItemsProcessed benchmarks)", file=sys.stderr)
+            sys.exit(2)
+        add_record(records, f"{exhibit}|{name}", b[GBENCH_METRIC],
+                   f"{path} benchmarks[{i}]")
 
 
 def load_records(paths):
-    """Maps 'exhibit|workload|policy|threads|seed' -> commits_per_mcycle."""
+    """Maps gate-cell key -> throughput metric, schema per file.
+
+    Returns (records, metrics): the cells and the set of metric names they
+    came from (informational — stamped into the baseline by --update).
+    """
     records = {}
+    metrics = set()
     for path in paths:
         try:
             with open(path, encoding="utf-8") as f:
@@ -50,26 +117,13 @@ def load_records(paths):
         except (OSError, json.JSONDecodeError) as e:
             print(f"error: cannot read {path}: {e}", file=sys.stderr)
             sys.exit(2)
-        exhibit = doc.get("exhibit", os.path.basename(path))
-        for i, rec in enumerate(doc.get("results", [])):
-            absent = [k for k in KEY_FIELDS if k not in rec]
-            if absent or METRIC not in rec:
-                print(f"error: {path} results[{i}] lacks "
-                      f"{absent + ([METRIC] if METRIC not in rec else [])}",
-                      file=sys.stderr)
-                sys.exit(2)
-            key = "|".join(str(rec[k]) for k in KEY_FIELDS)
-            key = f"{exhibit}|{key}"
-            if key in records:
-                print(f"error: duplicate record {key}", file=sys.stderr)
-                sys.exit(2)
-            try:
-                records[key] = float(rec[METRIC])
-            except (TypeError, ValueError):
-                print(f"error: {path} results[{i}]: non-numeric {METRIC}: "
-                      f"{rec[METRIC]!r}", file=sys.stderr)
-                sys.exit(2)
-    return records
+        if "benchmarks" in doc:
+            load_gbench(path, doc, records)
+            metrics.add(GBENCH_METRIC)
+        else:
+            load_exhibit(path, doc, records)
+            metrics.add(METRIC)
+    return records, metrics
 
 
 def main():
@@ -87,14 +141,14 @@ def main():
                     help="rewrite the baseline instead of checking")
     args = ap.parse_args()
 
-    current = load_records(args.smoke_json)
+    current, metrics = load_records(args.smoke_json)
     if not current:
         print("error: no records in smoke files", file=sys.stderr)
         return 2
 
     if args.update:
         doc = {"tolerance": args.tolerance,
-               "metric": METRIC,
+               "metric": "+".join(sorted(metrics)),
                "records": {k: current[k] for k in sorted(current)}}
         with open(args.baseline, "w", encoding="utf-8") as f:
             json.dump(doc, f, indent=2, sort_keys=False)

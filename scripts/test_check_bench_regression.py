@@ -26,6 +26,29 @@ def smoke_doc(records):
     }
 
 
+def gbench_doc(entries, executable="/build/bench/micro_htm"):
+    """entries: list of benchmark-entry dicts (google-benchmark schema)."""
+    return {
+        "context": {"executable": executable, "num_cpus": 4},
+        "benchmarks": entries,
+    }
+
+
+def gbench_run(name, ips, **extra):
+    """One raw (non-aggregate) google-benchmark iteration entry."""
+    entry = {"name": name, "run_name": name, "run_type": "iteration",
+             "real_time": 1.0, "cpu_time": 1.0, "time_unit": "ns",
+             "items_per_second": ips}
+    entry.update(extra)
+    return entry
+
+
+def gbench_median(run_name, ips):
+    """A median aggregate entry, as --benchmark_repetitions emits."""
+    return gbench_run(f"{run_name}_median", ips, run_name=run_name,
+                      run_type="aggregate", aggregate_name="median")
+
+
 class CheckBenchRegressionTest(unittest.TestCase):
     def setUp(self):
         self.tmp = tempfile.TemporaryDirectory()
@@ -143,6 +166,84 @@ class CheckBenchRegressionTest(unittest.TestCase):
         code, out = self.run_check(os.path.join(self.tmp.name, "absent.json"))
         self.assertEqual(code, 2, out)
         self.assertIn("cannot read", out)
+
+    # ---- google-benchmark JSON (micro_htm smoke) -------------------------
+
+    def test_gbench_roundtrip_passes(self):
+        smoke = self.write("htm.json", gbench_doc([
+            gbench_run("BM_MtReadHeavy/real_time/threads:4", 170e6),
+            gbench_run("BM_MtWriteHeavy/real_time/threads:4", 50e6),
+        ]))
+        baseline = self.make_baseline(smoke, "baseline_htm.json")
+        code, out = self.run_check("--baseline", baseline, smoke)
+        self.assertEqual(code, 0, out)
+        self.assertIn("ok: no regressions", out)
+
+    def test_gbench_regression_fails_and_names_the_instance(self):
+        base = self.write("base.json", gbench_doc(
+            [gbench_run("BM_MtReadHeavy/real_time/threads:4", 170e6)]))
+        baseline = self.make_baseline(base, "baseline_htm.json")
+        bad = self.write("bad.json", gbench_doc(
+            [gbench_run("BM_MtReadHeavy/real_time/threads:4", 100e6)]))
+        code, out = self.run_check("--baseline", baseline, bad)
+        self.assertEqual(code, 1, out)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("micro_htm|BM_MtReadHeavy/real_time/threads:4", out)
+
+    def test_gbench_prefers_median_aggregates_over_repetitions(self):
+        # Repetition entries include one wild outlier; the median aggregate
+        # is what must be gated (keyed by run_name, no _median suffix).
+        base = self.write("base.json", gbench_doc(
+            [gbench_run("BM_MtReadHeavy/threads:4", 170e6)]))
+        baseline = self.make_baseline(base, "baseline_htm.json")
+        reps = self.write("reps.json", gbench_doc([
+            gbench_run("BM_MtReadHeavy/threads:4", 1e6),  # outlier rep
+            gbench_run("BM_MtReadHeavy/threads:4", 169e6),
+            gbench_run("BM_MtReadHeavy/threads:4", 171e6),
+            gbench_median("BM_MtReadHeavy/threads:4", 169e6),
+        ]))
+        code, out = self.run_check("--baseline", baseline, reps)
+        self.assertEqual(code, 0, out)
+        self.assertIn("checked 1 records", out)
+
+    def test_gbench_missing_instance_fails_clearly(self):
+        base = self.write("base.json", gbench_doc([
+            gbench_run("BM_MtReadHeavy/threads:4", 170e6),
+            gbench_run("BM_MtReadPromoteSaturation/threads:4", 100e6),
+        ]))
+        baseline = self.make_baseline(base, "baseline_htm.json")
+        partial = self.write("partial.json", gbench_doc(
+            [gbench_run("BM_MtReadHeavy/threads:4", 170e6)]))
+        code, out = self.run_check("--baseline", baseline, partial)
+        self.assertEqual(code, 1, out)
+        self.assertIn("MISSING", out)
+        self.assertIn("BM_MtReadPromoteSaturation", out)
+
+    def test_gbench_entry_without_items_per_second_is_usage_error(self):
+        entry = gbench_run("BM_MtReadHeavy/threads:4", 170e6)
+        del entry["items_per_second"]
+        smoke = self.write("broken.json", gbench_doc([entry]))
+        code, out = self.run_check(smoke)
+        self.assertEqual(code, 2, out)
+        self.assertIn("items_per_second", out)
+        self.assertNotIn("Traceback", out)
+
+    def test_gbench_and_exhibit_files_gate_together(self):
+        exhibit = self.write("exhibit.json",
+                             smoke_doc([("genome", "Seer", 8, 1000, 5.0)]))
+        htm = self.write("htm.json", gbench_doc(
+            [gbench_run("BM_MtReadHeavy/threads:4", 170e6)]))
+        baseline = self.make_baseline(exhibit, "mixed.json")
+        code, out = self.run_check("--baseline", baseline, "--update",
+                                   exhibit, htm)
+        self.assertEqual(code, 0, out)
+        code, out = self.run_check("--baseline", baseline, exhibit, htm)
+        self.assertEqual(code, 0, out)
+        self.assertIn("checked 2 records", out)
+        with open(baseline, encoding="utf-8") as f:
+            doc = json.load(f)
+        self.assertEqual(doc["metric"],
+                         "commits_per_mcycle+items_per_second")
 
 
 if __name__ == "__main__":

@@ -14,11 +14,18 @@
 //     transaction attempts is one integer bump, never a memset. The table
 //     only allocates when it grows past its load factor, so a warmed-up
 //     context runs allocation-free.
+//   * ReadSignature — a 1024-bit Bloom filter over word addresses with an
+//     incrementally maintained population count. Tier-0 read tracking
+//     (DESIGN.md §10) records cold reads here for near-zero cost; the
+//     population count drives the saturation predicate that promotes the
+//     transaction to exact accounting before the filter's false-positive
+//     rate becomes meaningless.
 //
-// Both are strictly thread-local (one per ThreadContext) and need no
+// All are strictly thread-local (one per ThreadContext) and need no
 // synchronization.
 #pragma once
 
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -59,6 +66,60 @@ class AddrSignature {
 
  private:
   std::uint64_t bits_ = 0;
+};
+
+// 1024-bit read-side Bloom filter (no false negatives) with an incremental
+// population count. Bits 45..54 of the mixed hash index the filter —
+// disjoint from both the write signature (top 6 bits) and the stripe map
+// (low bits), so a transaction's three filters never alias through the one
+// shared mix. One bit per add (k = 1): at the saturation threshold below
+// the expected distinct-word count is m·ln2 ≈ 710, far past the point where
+// exact accounting should have taken over anyway.
+class ReadSignature {
+ public:
+  static constexpr std::size_t kBits = 1024;
+  static constexpr std::size_t kWords = kBits / 64;
+  // Promotion predicate: at half the bits set the false-positive rate is
+  // ~50% and the filter stops carrying information — the owner must switch
+  // to exact tracking no later than this.
+  static constexpr std::uint32_t kSaturationPop = kBits / 2;
+
+  [[nodiscard]] static unsigned bit_of_hash(std::uint64_t h) noexcept {
+    return static_cast<unsigned>((h >> 45) & (kBits - 1));
+  }
+  // Exposed so tests can manufacture deliberate bit collisions.
+  [[nodiscard]] static unsigned bit_of(const void* addr) noexcept {
+    return bit_of_hash(mix_addr(addr));
+  }
+
+  // Deliberately does NOT maintain an incremental population count: add()
+  // sits on the per-read hot path and must stay a load/or/store. Owners
+  // evaluate saturation at checkpoints (every kSatCheckStride logged reads)
+  // via the pop() scan — 16 popcounts, amortized to noise.
+  void add(std::uint64_t h) noexcept {
+    const unsigned b = bit_of_hash(h);
+    words_[b >> 6] |= 1ULL << (b & 63);
+  }
+  [[nodiscard]] bool may_contain(std::uint64_t h) const noexcept {
+    const unsigned b = bit_of_hash(h);
+    return ((words_[b >> 6] >> (b & 63)) & 1ULL) != 0;
+  }
+  // Distinct set bits — a lower bound on the distinct words added (never an
+  // upper bound: collisions hide adds, which is why the owner's capacity
+  // account must come from its replay log, not from here).
+  [[nodiscard]] std::uint32_t pop() const noexcept {
+    std::uint32_t n = 0;
+    for (const std::uint64_t w : words_) n += static_cast<std::uint32_t>(std::popcount(w));
+    return n;
+  }
+  [[nodiscard]] bool saturated() const noexcept { return pop() >= kSaturationPop; }
+
+  void clear() noexcept {
+    for (std::uint64_t& w : words_) w = 0;
+  }
+
+ private:
+  std::uint64_t words_[kWords] = {};
 };
 
 // Open-addressed (linear probing), epoch-tagged addr -> uint32 map.
@@ -123,6 +184,16 @@ class AddrIndex {
     return find_or_insert(addr, value, mix_addr(addr));
   }
 
+  // Grows (in one allocation) until `n` entries fit under the load factor.
+  // Incremental growth would reach the same size through log2 doublings,
+  // each a fresh allocation + rehash; a caller that knows its population up
+  // front — the Tier-0 promotion replay — calls this once instead.
+  void reserve_for(std::size_t n) {
+    std::size_t want = mask_ + 1;
+    while (want * 7 / 10 < n) want <<= 1;
+    if (want > mask_ + 1) rehash_to(want);
+  }
+
   [[nodiscard]] std::size_t live() const noexcept { return live_; }
   [[nodiscard]] std::size_t slot_count() const noexcept { return mask_ + 1; }
 
@@ -140,10 +211,12 @@ class AddrIndex {
     grow_at_ = n_slots * 7 / 10;  // 70% load factor, precomputed off the hot path
   }
 
-  void grow() {
+  void grow() { rehash_to((mask_ + 1) * 2); }
+
+  void rehash_to(std::size_t n_slots) {
     const std::size_t old_count = mask_ + 1;
     std::unique_ptr<Slot[]> old = std::move(slots_);
-    allocate(old_count * 2);
+    allocate(n_slots);
     for (std::size_t i = 0; i < old_count; ++i) {
       const Slot& s = old[i];
       if (s.epoch != epoch_) continue;

@@ -16,8 +16,6 @@ SoftHtm::SoftHtm(Config cfg) : cfg_(cfg) {
   }
 }
 
-std::uint64_t SoftHtm::Tx::read(const TmWord& w) { return ctx_.do_read(w); }
-void SoftHtm::Tx::write(TmWord& w, std::uint64_t value) { ctx_.do_write(w, value); }
 void SoftHtm::Tx::abort(std::uint8_t code) {
   ctx_.abort_with(AbortStatus::explicit_abort(code));
 }
@@ -34,6 +32,12 @@ void SoftHtm::ThreadContext::begin() {
   subs_.clear();
   read_log_.clear();
   write_sig_.clear();
+  // Reads start signature-only (Tier 0) unless the config demands exact
+  // accounting from the first access. 16 word stores clear the filter.
+  read_tier_exact_ = tm_.cfg_.read_tracking == ReadTracking::kExact;
+  t0_next_ = t0_buf_.get();
+  t0_check_ = std::min(t0_end_, t0_next_ + kT0SatCheckStride);
+  read_sig_.clear();
   // One integer bump retires every stamp and index slot of the previous
   // attempt. On the (once per 2^32 attempts) wraparound the tagged
   // structures must forget their stale epochs, or a recycled epoch value
@@ -61,6 +65,7 @@ void SoftHtm::ThreadContext::rollback() noexcept {
   reads_.clear();
   writes_.clear();
   subs_.clear();
+  t0_next_ = t0_buf_.get();
 }
 
 void SoftHtm::ThreadContext::abort_with(AbortStatus status) {
@@ -71,98 +76,84 @@ void SoftHtm::ThreadContext::abort_with(AbortStatus status) {
   throw TxAbortException{status};
 }
 
-void SoftHtm::ThreadContext::maybe_fault(TxOp op) {
+void SoftHtm::ThreadContext::maybe_fault_slow(TxOp op) {
   // Injection models *hardware* abort noise, so the capacity-exempt path
   // (the pessimistic SGL fallback, which is not speculative) is exempt too —
-  // otherwise a high-rate plan could starve the fallback's retry loop.
-  if (fault_ == nullptr || !enforce_capacity_) return;
+  // otherwise a high-rate plan could starve the fallback's retry loop (the
+  // inline maybe_fault wrapper filters both conditions before landing here).
   const std::uint64_t i = op_index_++;
   if (const auto forced = fault_->before_op(op, attempt_count_ - 1, i)) {
     abort_with(*forced);
   }
 }
 
-void SoftHtm::ThreadContext::check_subscriptions() {
-  const std::size_t n = subs_.size();
-  if (n == 0) return;
-  // Single-subscription fast path: the executor subscribes to exactly one
-  // word (the SGL fallback lock), so the per-access revalidation is one
-  // load/compare against inline members instead of a vector walk.
-  if (sub0_word_->load(std::memory_order_acquire) != sub0_expected_) {
-    abort_with(AbortStatus::conflict());
-  }
-  for (std::size_t i = 1; i < n; ++i) {
-    const Subscription& s = subs_[i];
-    if (s.word->load(std::memory_order_acquire) != s.expected) {
-      abort_with(AbortStatus::conflict());
+// Tier-0 → Tier-1 promotion: replay the logged addresses through the exact
+// distinct-word index once, then continue with exact accounting for the
+// rest of the attempt. The replay dedups — reads_ ends at the true distinct
+// count ≤ log length — so a capacity-pressure promotion (log == budget)
+// can never itself overflow the cap; the belt-and-braces check at the end
+// guards the invariant, not a reachable state. reserve_for/reserve make
+// the rebuild at most one allocation each the first time a context
+// promotes at a given size, and none once warm.
+void SoftHtm::ThreadContext::promote_reads(bool saturated) {
+  const auto logged = static_cast<std::size_t>(t0_next_ - t0_buf_.get());
+  read_words_.reserve_for(logged + 1);
+  if (reads_.capacity() < logged) reads_.reserve(logged);
+  for (const TmWord* const* p = t0_buf_.get(); p != t0_next_; ++p) {
+    const TmWord* a = *p;
+    const std::uint64_t h = mix_addr(a);
+    const auto si = static_cast<std::uint32_t>(h & stripe_mask_);
+    if (read_words_.find_or_insert(a, si, h) == AddrIndex::kNpos) {
+      reads_.push_back(si);
     }
+  }
+  t0_next_ = t0_buf_.get();
+  read_tier_exact_ = true;
+  if (saturated) {
+    ++promote_saturation_;
+  } else {
+    ++promote_capacity_;
+  }
+  if (metrics_.registry != nullptr) {
+    metrics_.registry->add(
+        saturated ? metrics_.promote_saturation : metrics_.promote_capacity,
+        metrics_.lane);
+  }
+  if (enforce_capacity_ && reads_.size() > tm_.cfg_.max_read_set) {
+    abort_capacity();
   }
 }
 
-std::uint64_t SoftHtm::ThreadContext::do_read(const TmWord& w) {
-  assert(active_);
-  maybe_fault(TxOp::kRead);
-  // One address mix feeds everything below: the signature filter (top
-  // bits), the stripe map (low bits) and both index probes.
-  const std::uint64_t h = mix_addr(&w);
-  // Read-own-writes: the write buffer wins over memory. One AND/compare
-  // rules out the overwhelmingly common "not in my write set" case; a
-  // filter hit falls through to the exact O(1) index probe.
-  if (write_sig_.may_contain(h)) {
-    const std::uint32_t idx = write_index_.find(&w, h);
-    if (idx != AddrIndex::kNpos) return writes_[idx].value;
+// Capacity aborts funnel through here so abort attribution can split them
+// by read tier: "capacity while signature-only" means the write set (or a
+// promotion replay) overflowed while reads were still approximate;
+// "capacity after exact accounting" means the exact distinct-word count
+// did. Read-capacity aborts always land in the exact bucket by
+// construction — Tier 0 promotes at the budget instead of aborting.
+void SoftHtm::ThreadContext::abort_capacity() {
+  if (metrics_.registry != nullptr) {
+    metrics_.registry->add(read_tier_exact_ ? metrics_.capacity_abort_exact
+                                            : metrics_.capacity_abort_sig,
+                           metrics_.lane);
   }
-  const auto si = static_cast<std::uint32_t>(h & tm_.stripe_mask_);
-  std::atomic<std::uint64_t>& stripe = tm_.stripe_at(si);
-  const bool validate = tm_.cfg_.defect != Defect::kSkipReadValidation;
-  // TL2 post-validated read: sample the stripe version, read the word,
-  // re-check the stripe. Any concurrent commit to this stripe is caught.
-  const std::uint64_t v_before = stripe.load(std::memory_order_acquire);
-  if (validate &&
-      ((v_before & kLockedBit) != 0 || v_before > (read_version_ << 1))) {
-    abort_with(AbortStatus::conflict());
-  }
-  const std::uint64_t value = w.load(std::memory_order_acquire);
-  const std::uint64_t v_after = stripe.load(std::memory_order_acquire);
-  if (validate && v_after != v_before) {
-    abort_with(AbortStatus::conflict());
-  }
-  check_subscriptions();
-  if (log_ != nullptr) read_log_.push_back(TxRead{&w, value});
-  // One L1-resident probe both dedups the read set and accounts capacity:
-  // a word seen before adds nothing (its stripe is already in reads_ and,
-  // per the L1d model, a resident line consumes no new capacity). A new
-  // word appends its stripe — two distinct words can share a stripe, which
-  // merely validates that stripe twice at commit. Keeping the big
-  // per-stripe stamp table off the read path matters: it is the one
-  // structure too large to stay cache-resident.
-  if (read_words_.find_or_insert(&w, si, h) == AddrIndex::kNpos) {
-    reads_.push_back(si);
-    if (enforce_capacity_ && reads_.size() > tm_.cfg_.max_read_set) {
-      abort_with(AbortStatus::capacity());
-    }
-  }
-  return value;
+  abort_with(AbortStatus::capacity());
 }
 
-void SoftHtm::ThreadContext::do_write(TmWord& w, std::uint64_t value) {
-  assert(active_);
-  maybe_fault(TxOp::kWrite);
-  // One probe both dedups and claims the slot: an existing entry is
-  // overwritten in place, a new word appends to the buffer.
-  const std::uint64_t h = mix_addr(&w);
-  const std::uint32_t existing =
-      write_index_.find_or_insert(&w, static_cast<std::uint32_t>(writes_.size()), h);
-  if (existing != AddrIndex::kNpos) {
-    writes_[existing].value = value;
+// Tier-0 slow path: the log cursor reached t0_check_. Either this is just
+// a saturation checkpoint — scan the filter population (16 popcounts, paid
+// once per kT0SatCheckStride logged reads), push the checkpoint forward and
+// keep logging — or the log hit the capacity budget / the filter saturated,
+// in which case the attempt promotes to exact accounting and the current
+// read is the first one tracked exactly.
+void SoftHtm::ThreadContext::t0_checkpoint(const TmWord* w, std::uint64_t h) {
+  if (t0_next_ != t0_end_ && !read_sig_.saturated()) {
+    t0_check_ = std::min(t0_end_, t0_next_ + kT0SatCheckStride);
+    read_sig_.add(h);
+    *t0_next_++ = w;
     return;
   }
-  write_sig_.add(h);
-  writes_.push_back(
-      WriteEntry{&w, value, static_cast<std::uint32_t>(h & tm_.stripe_mask_)});
-  if (enforce_capacity_ && writes_.size() > tm_.cfg_.max_write_set) {
-    abort_with(AbortStatus::capacity());
-  }
+  promote_reads(/*saturated=*/t0_next_ != t0_end_);
+  track_read_exact(w, static_cast<std::uint32_t>(h & stripe_mask_), h);
 }
 
 void SoftHtm::ThreadContext::do_subscribe(const std::atomic<std::uint64_t>& word,
@@ -246,12 +237,11 @@ AbortStatus SoftHtm::ThreadContext::commit() {
       ++locked;
     }
 
-    // Validate the read set against the read version. reads_ holds each
-    // stripe once; a locked stripe is fine iff the lock is ours, which the
-    // owned stamp answers in O(1) (stripes we own passed the version check
-    // just before locking).
+    // Validate the read set against the read version. A locked stripe is
+    // fine iff the lock is ours, which the owned stamp answers in O(1)
+    // (stripes we own passed the version check just before locking).
     if (tm_.cfg_.defect != Defect::kSkipCommitValidation) {
-      for (const std::uint32_t si : reads_) {
+      auto validate_stripe = [&](std::uint32_t si) {
         const std::uint64_t v = tm_.stripe_at(si).load(std::memory_order_acquire);
         if ((v & kLockedBit) != 0) {
           if (!stamp_has(si, kStampOwned)) {
@@ -262,7 +252,17 @@ AbortStatus SoftHtm::ThreadContext::commit() {
           release_locked();
           abort_with(AbortStatus::conflict());
         }
+      };
+      // Tier-0 reads never built reads_: walk the replay log instead,
+      // recomputing each entry's stripe. Undeduplicated, so a re-read
+      // stripe validates more than once — the price a writer pays for
+      // having skipped per-read exact accounting, and exactly why a
+      // read-only commit (the Tier-0 sweet spot) skips this entirely.
+      for (const TmWord* const* p = t0_buf_.get(); p != t0_next_; ++p) {
+        validate_stripe(static_cast<std::uint32_t>(mix_addr(*p) & stripe_mask_));
       }
+      // Tier-1 reads: each distinct stripe entry once. Empty in Tier 0.
+      for (const std::uint32_t si : reads_) validate_stripe(si);
     }
     for (const Subscription& sub : subs_) {
       if (sub.word->load(std::memory_order_acquire) != sub.expected) {

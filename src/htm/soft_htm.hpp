@@ -35,6 +35,7 @@
 #include "htm/abort_code.hpp"
 #include "htm/access_set.hpp"
 #include "htm/instrument.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/cacheline.hpp"
 
@@ -42,6 +43,20 @@ namespace seer::htm {
 
 // A transactionally managed machine word.
 using TmWord = std::atomic<std::uint64_t>;
+
+// Pre-registered metric ids a ThreadContext bumps at read-tier promotions
+// and capacity aborts (never per access — the hot path stays untouched).
+// The embedder registers the counters on its MetricsRegistry before
+// freeze(), then installs the ids via ThreadContext::set_metrics; the
+// registry must outlive every attempt run on the context.
+struct HtmMetrics {
+  obs::MetricsRegistry* registry = nullptr;
+  core::ThreadId lane = 0;
+  obs::MetricId promote_capacity = obs::kNoMetric;    // htm.read_promote.capacity
+  obs::MetricId promote_saturation = obs::kNoMetric;  // htm.read_promote.saturation
+  obs::MetricId capacity_abort_sig = obs::kNoMetric;  // htm.aborts.capacity.sig_only
+  obs::MetricId capacity_abort_exact = obs::kNoMetric;  // htm.aborts.capacity.exact
+};
 
 // Thrown by transactional accesses when the transaction must roll back; the
 // driver (SoftHtm::ThreadContext::attempt) catches it — user code must let
@@ -61,6 +76,16 @@ class SoftHtm {
     kSkipReadValidation,    // reads skip stripe pre/post-validation
   };
 
+  // How reads are tracked for capacity accounting and commit validation
+  // (DESIGN.md §10). kAdaptive transactions start in Tier 0 — cold reads go
+  // into a signature filter plus an address replay log, near-zero cost —
+  // and are promoted to Tier 1 (PR 5's exact distinct-word accounting) only
+  // when the log reaches the capacity budget or the signature saturates.
+  // kExact skips Tier 0 entirely: every read pays the exact index probe
+  // from the first access, which some tests (and any embedder that wants
+  // read_set_size() to be exact mid-transaction) rely on.
+  enum class ReadTracking : std::uint8_t { kAdaptive, kExact };
+
   struct Config {
     // Capacity model. Haswell TSX tracks reads in L1d+L2-victim structures
     // (large) and writes strictly in L1d (small); we default to word counts
@@ -70,6 +95,7 @@ class SoftHtm {
     // Number of versioned-lock stripes (power of two).
     std::size_t stripes = 1u << 16;
     Defect defect = Defect::kNone;
+    ReadTracking read_tracking = ReadTracking::kAdaptive;
   };
 
   SoftHtm() : SoftHtm(Config{}) {}
@@ -103,16 +129,27 @@ class SoftHtm {
   // Every per-access structure is O(1) and reusable across attempts
   // (DESIGN.md §10): the write set is indexed by an open-addressed hash
   // table behind a 64-bit signature filter (read-own-writes and write
-  // dedup in constant time), reads are deduplicated through an exact
-  // distinct-word index (one L1-resident probe doubles as the capacity
-  // account), owned stripes are marked at commit in an epoch-tagged
-  // stripe-stamp table (cleared by bumping the epoch, never memset), and
-  // the commit path sorts a reusable stripe list — zero heap allocations
-  // once the vectors and tables are warm.
+  // dedup in constant time), reads start in a signature-only Tier 0 (a
+  // 1024-bit Bloom filter plus an address replay log) and are promoted
+  // lazily to the exact distinct-word index only under capacity pressure
+  // or filter saturation, owned stripes are marked at commit in an
+  // epoch-tagged stripe-stamp table (cleared by bumping the epoch, never
+  // memset), and the commit path sorts a reusable stripe list — zero heap
+  // allocations once the vectors and tables are warm.
   class ThreadContext {
    public:
     explicit ThreadContext(SoftHtm& tm)
-        : tm_(tm), stamps_(std::make_unique<std::uint64_t[]>(tm.cfg_.stripes)) {}
+        : tm_(tm),
+          stripe_mask_(tm.stripe_mask_),
+          stripe_tab_(tm.stripes_.get()),
+          validate_reads_(tm.cfg_.defect != Defect::kSkipReadValidation),
+          t0_buf_(std::make_unique<const TmWord*[]>(tm.cfg_.max_read_set)),
+          t0_next_(t0_buf_.get()),
+          t0_end_(t0_buf_.get() + tm.cfg_.max_read_set),
+          t0_check_(t0_buf_.get() + (tm.cfg_.max_read_set < kT0SatCheckStride
+                                         ? tm.cfg_.max_read_set
+                                         : kT0SatCheckStride)),
+          stamps_(std::make_unique<std::uint64_t[]>(tm.cfg_.stripes)) {}
     ThreadContext(const ThreadContext&) = delete;
     ThreadContext& operator=(const ThreadContext&) = delete;
 
@@ -149,11 +186,29 @@ class SoftHtm {
     // True while a speculative attempt is executing (xtest analogue).
     [[nodiscard]] bool in_tx() const noexcept { return active_; }
 
-    // Introspection for tests: distinct words read / written this attempt —
-    // the quantity the capacity model caps (capacity models L1d words;
+    // Introspection for tests: words read / written this attempt — the
+    // quantity the capacity model caps (capacity models L1d words;
     // re-accessing a word consumes no new capacity, exactly like TSX).
-    [[nodiscard]] std::size_t read_set_size() const noexcept { return reads_.size(); }
+    // While reads are still Tier 0 (signature-only) the read count is the
+    // replay-log length: a conservative UPPER bound on the distinct-word
+    // count, exact whenever no word was read twice. After promotion — and
+    // always under ReadTracking::kExact — it is the exact distinct count.
+    [[nodiscard]] std::size_t read_set_size() const noexcept {
+      return read_tier_exact_ ? reads_.size()
+                              : static_cast<std::size_t>(t0_next_ - t0_buf_.get());
+    }
     [[nodiscard]] std::size_t write_set_size() const noexcept { return writes_.size(); }
+
+    // Read-tracking tier introspection (tests and metrics plumbing): which
+    // tier the current/last attempt's reads are tracked in, and how many
+    // promotions this context has performed, split by triggering predicate.
+    [[nodiscard]] bool read_tier_is_exact() const noexcept { return read_tier_exact_; }
+    [[nodiscard]] std::uint64_t read_promotions_capacity() const noexcept {
+      return promote_capacity_;
+    }
+    [[nodiscard]] std::uint64_t read_promotions_saturation() const noexcept {
+      return promote_saturation_;
+    }
 
     // Jumps the stamp/index epoch counter (tests only: exercising the
     // wraparound path without running 2^32 attempts). The next begin()
@@ -181,6 +236,11 @@ class SoftHtm {
       obs_ = sink;
       obs_lane_ = lane;
     }
+    // Installs pre-registered promotion/capacity-abort counters (see
+    // HtmMetrics). Bumped only at tier promotions and capacity aborts —
+    // never on the per-access path. The registry must outlive every attempt
+    // run on this context; a default-constructed HtmMetrics disables.
+    void set_metrics(const HtmMetrics& m) noexcept { metrics_ = m; }
 
    private:
     friend class Tx;
@@ -206,12 +266,37 @@ class SoftHtm {
     AbortStatus commit();
     void rollback() noexcept;
 
+    // The per-access paths (and everything they touch) are defined inline
+    // at the bottom of this header: the call itself is the largest single
+    // cost left on a warmed-up read, and inlining lets the caller's loop
+    // hoist the dormant-feature checks and hot constants into registers.
     std::uint64_t do_read(const TmWord& w);
     void do_write(TmWord& w, std::uint64_t value);
     void do_subscribe(const std::atomic<std::uint64_t>& word, std::uint64_t expected);
+    // Tier-1 tracking for one read: the exact dedup-and-account probe.
+    void track_read_exact(const TmWord* w, std::uint32_t si, std::uint64_t h) {
+      if (read_words_.find_or_insert(w, si, h) == AddrIndex::kNpos) {
+        reads_.push_back(si);
+        if (enforce_capacity_ && reads_.size() > tm_.cfg_.max_read_set) {
+          abort_capacity();
+        }
+      }
+    }
+    // Tier-0 slow path, reached when the log cursor hits t0_check_: either
+    // a saturation checkpoint (scan the filter, move the checkpoint, keep
+    // logging) or a promotion to exact accounting.
+    void t0_checkpoint(const TmWord* w, std::uint64_t h);
+    void promote_reads(bool saturated);
+    [[noreturn]] void abort_capacity();
     [[noreturn]] void abort_with(AbortStatus status);
     void check_subscriptions();
-    void maybe_fault(TxOp op);
+    // Fault injection is dormant in every non-check embedding: the inline
+    // wrapper is one pointer test, the consult lives out of line.
+    void maybe_fault(TxOp op) {
+      if (fault_ == nullptr || !enforce_capacity_) return;
+      maybe_fault_slow(op);
+    }
+    void maybe_fault_slow(TxOp op);
 
     [[nodiscard]] bool stamp_has(std::uint32_t stripe,
                                  std::uint64_t flag) const noexcept {
@@ -225,15 +310,22 @@ class SoftHtm {
     }
 
     SoftHtm& tm_;
+    // Hot-path constants hoisted out of tm_ at construction (the config and
+    // stripe table are immutable after the SoftHtm ctor): per-access code
+    // loads nothing through the tm_ indirection.
+    std::size_t stripe_mask_;
+    util::Padded<std::atomic<std::uint64_t>>* stripe_tab_;
+    bool validate_reads_;  // == (defect != kSkipReadValidation)
     bool active_ = false;
     bool enforce_capacity_ = true;
     std::uint64_t read_version_ = 0;
-    // Read set: the stripe of each distinct word read (deduplicated by the
-    // read_words_ probe), which is all commit-time validation needs. Two
-    // words sharing a stripe contribute two entries; validation simply
-    // re-checks that stripe. The guarded pushes make reads_.size() exactly
-    // the distinct-word count, so it doubles as the capacity account (the
-    // model is L1d words, deliberately independent of the stripe count).
+    // Read set, Tier 1 (exact): the stripe of each distinct word read
+    // (deduplicated by the read_words_ probe), which is all commit-time
+    // validation needs. Two words sharing a stripe contribute two entries;
+    // validation simply re-checks that stripe. The guarded pushes make
+    // reads_.size() exactly the distinct-word count, so it doubles as the
+    // capacity account (the model is L1d words, deliberately independent of
+    // the stripe count). Empty while reads are still Tier 0.
     std::vector<std::uint32_t> reads_;
     std::vector<WriteEntry> writes_;
     std::vector<Subscription> subs_;
@@ -242,6 +334,30 @@ class SoftHtm {
     AddrSignature write_sig_;
     AddrIndex write_index_;  // word addr -> writes_ slot
     AddrIndex read_words_;   // distinct-words-read set (payload: stripe index)
+    // Tier-0 read tracking (ReadTracking::kAdaptive; DESIGN.md §10). Every
+    // cold read appends its address to the replay log and sets one filter
+    // bit — no hash-table probe, no stamp-table traffic. The log length is
+    // a sound upper bound on the distinct-word count (a filter miss is a
+    // definite new word; a hit is ambiguous and logged anyway), so Tier 0
+    // never needs to raise a read-capacity abort itself: promotion to exact
+    // accounting fires at the capacity budget, strictly before the true
+    // distinct count can exceed it.
+    //
+    // The log is a raw cursor over a fixed buffer of max_read_set slots
+    // (allocated once, reused across attempts) so the per-read cost is one
+    // pointer compare + store. t0_check_ is the next point the slow path
+    // runs: the budget boundary (t0_end_) or a saturation checkpoint every
+    // kT0SatCheckStride logged reads, whichever is nearer — the filter's
+    // population is scanned only there, never per read.
+    static constexpr std::size_t kT0SatCheckStride = 64;
+    std::unique_ptr<const TmWord*[]> t0_buf_;  // replay log, program order
+    const TmWord** t0_next_;   // log cursor (== t0_buf_ when empty)
+    const TmWord** t0_end_;    // t0_buf_ + cfg_.max_read_set (the budget)
+    const TmWord** t0_check_;  // next slow-path stop: min(end, checkpoint)
+    ReadSignature read_sig_;
+    bool read_tier_exact_ = false;  // false: Tier 0; true: exact accounting
+    std::uint64_t promote_capacity_ = 0;    // promotions by log-at-budget
+    std::uint64_t promote_saturation_ = 0;  // promotions by filter saturation
     std::unique_ptr<std::uint64_t[]> stamps_;  // per-stripe (epoch<<2)|flags
     std::uint32_t epoch_ = 0;    // bumped per begin(); 0 is never live
     // Commit scratch (reused; member so the commit path never allocates).
@@ -256,6 +372,7 @@ class SoftHtm {
     // Observability trace sink (dormant unless installed).
     obs::TraceSink* obs_ = nullptr;
     core::ThreadId obs_lane_ = 0;
+    HtmMetrics metrics_;  // promotion/capacity counters (dormant unless set)
     std::uint64_t attempt_count_ = 0;  // begins seen by this context
     std::uint64_t op_index_ = 0;       // ops within the current attempt
     std::vector<TxRead> read_log_;     // observed reads, program order
@@ -285,5 +402,115 @@ class SoftHtm {
   std::unique_ptr<util::Padded<std::atomic<std::uint64_t>>[]> stripes_;
   alignas(util::kCacheLineBytes) std::atomic<std::uint64_t> clock_{0};
 };
+
+// ---------------------------------------------------------------------------
+// Inline per-access paths. These run once per transactional read/write, so
+// they live in the header: inlined into the caller's loop, the dormant
+// instrumentation checks (fault injector, tx log, subscriptions) fold into
+// single predictable tests and the hoisted constants (stripe_mask_,
+// stripe_tab_, validate_reads_) stay in registers. Cold continuations —
+// begin/commit, promotion, every abort — remain out of line in soft_htm.cpp.
+
+inline void SoftHtm::ThreadContext::check_subscriptions() {
+  const std::size_t n = subs_.size();
+  if (n == 0) return;
+  // Single-subscription fast path: the executor subscribes to exactly one
+  // word (the SGL fallback lock), so the per-access revalidation is one
+  // load/compare against inline members instead of a vector walk.
+  if (sub0_word_->load(std::memory_order_acquire) != sub0_expected_) {
+    abort_with(AbortStatus::conflict());
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    const Subscription& s = subs_[i];
+    if (s.word->load(std::memory_order_acquire) != s.expected) {
+      abort_with(AbortStatus::conflict());
+    }
+  }
+}
+
+inline std::uint64_t SoftHtm::ThreadContext::do_read(const TmWord& w) {
+  assert(active_);
+  maybe_fault(TxOp::kRead);
+  // One address mix feeds everything below: the signature filter (top
+  // bits), the stripe map (low bits) and both index probes.
+  const std::uint64_t h = mix_addr(&w);
+  // Read-own-writes: the write buffer wins over memory. One AND/compare
+  // rules out the overwhelmingly common "not in my write set" case; a
+  // filter hit falls through to the exact O(1) index probe.
+  if (write_sig_.may_contain(h)) {
+    const std::uint32_t idx = write_index_.find(&w, h);
+    if (idx != AddrIndex::kNpos) return writes_[idx].value;
+  }
+  const auto si = static_cast<std::uint32_t>(h & stripe_mask_);
+  std::atomic<std::uint64_t>& stripe = stripe_tab_[si].value;
+  // TL2 post-validated read: sample the stripe version, read the word,
+  // re-check the stripe. Any concurrent commit to this stripe is caught.
+  const std::uint64_t v_before = stripe.load(std::memory_order_acquire);
+  if (validate_reads_ &&
+      ((v_before & kLockedBit) != 0 || v_before > (read_version_ << 1))) {
+    abort_with(AbortStatus::conflict());
+  }
+  const std::uint64_t value = w.load(std::memory_order_acquire);
+  const std::uint64_t v_after = stripe.load(std::memory_order_acquire);
+  if (validate_reads_ && v_after != v_before) {
+    abort_with(AbortStatus::conflict());
+  }
+  check_subscriptions();
+  if (log_ != nullptr) read_log_.push_back(TxRead{&w, value});
+  // Two-tier read tracking (DESIGN.md §10). Tier 0 (the common case): log
+  // the address and set one filter bit — no hash-table probe, no stamp
+  // traffic. Every read is logged, filter hit or miss: a miss is a definite
+  // new word, a hit cannot be told from a false positive without the exact
+  // probe Tier 0 exists to avoid, so counting both keeps the log length a
+  // sound UPPER bound on the distinct-word count. The single cursor
+  // compare folds both promotion predicates: t0_check_ is the budget
+  // boundary or the next saturation checkpoint, whichever is nearer (the
+  // slow halves of both live out of line in soft_htm.cpp).
+  if (!read_tier_exact_) {
+    if (t0_next_ != t0_check_) [[likely]] {
+      read_sig_.add(h);
+      *t0_next_++ = &w;
+      return value;
+    }
+    t0_checkpoint(&w, h);
+    return value;
+  }
+  // Tier 1 (exact): one L1-resident probe both dedups the read set and
+  // accounts capacity — a word seen before adds nothing (its stripe is
+  // already in reads_ and, per the L1d model, a resident line consumes no
+  // new capacity). A new word appends its stripe — two distinct words can
+  // share a stripe, which merely validates that stripe twice at commit.
+  // Keeping the big per-stripe stamp table off the read path matters: it
+  // is the one structure too large to stay cache-resident.
+  track_read_exact(&w, si, h);
+  return value;
+}
+
+inline void SoftHtm::ThreadContext::do_write(TmWord& w, std::uint64_t value) {
+  assert(active_);
+  maybe_fault(TxOp::kWrite);
+  // One probe both dedups and claims the slot: an existing entry is
+  // overwritten in place, a new word appends to the buffer.
+  const std::uint64_t h = mix_addr(&w);
+  const std::uint32_t existing =
+      write_index_.find_or_insert(&w, static_cast<std::uint32_t>(writes_.size()), h);
+  if (existing != AddrIndex::kNpos) {
+    writes_[existing].value = value;
+    return;
+  }
+  write_sig_.add(h);
+  writes_.push_back(
+      WriteEntry{&w, value, static_cast<std::uint32_t>(h & stripe_mask_)});
+  if (enforce_capacity_ && writes_.size() > tm_.cfg_.max_write_set) {
+    // A write overflow can fire in either read tier — this is the one
+    // capacity abort that genuinely lands in the sig_only bucket.
+    abort_capacity();
+  }
+}
+
+inline std::uint64_t SoftHtm::Tx::read(const TmWord& w) { return ctx_.do_read(w); }
+inline void SoftHtm::Tx::write(TmWord& w, std::uint64_t value) {
+  ctx_.do_write(w, value);
+}
 
 }  // namespace seer::htm

@@ -24,6 +24,11 @@ ThreadedExecutor::ThreadedExecutor(htm::SoftHtm& tm, const PolicyConfig& policy,
           std::string("rt.aborts.")
               .append(htm::to_string(static_cast<htm::AbortCause>(c))));
     }
+    htm_metrics_.registry = opts_.metrics;
+    htm_metrics_.promote_capacity = m.counter("htm.read_promote.capacity");
+    htm_metrics_.promote_saturation = m.counter("htm.read_promote.saturation");
+    htm_metrics_.capacity_abort_sig = m.counter("htm.aborts.capacity.sig_only");
+    htm_metrics_.capacity_abort_exact = m.counter("htm.aborts.capacity.exact");
   }
 }
 

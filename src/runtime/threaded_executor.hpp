@@ -175,6 +175,11 @@ class ThreadedExecutor {
           tm_ctx_(exec.tm_),
           policy_(exec.shared_.make_thread_policy(id)) {
       tm_ctx_.set_obs(exec.opts_.trace, id);
+      if (exec.opts_.metrics != nullptr) {
+        htm::HtmMetrics m = exec.htm_metrics_;
+        m.lane = id;
+        tm_ctx_.set_metrics(m);
+      }
     }
 
     // Per-completed-transaction observability: one commit bump, the retry
@@ -285,6 +290,12 @@ class ThreadedExecutor {
   obs::MetricId h_retry_depth_ = obs::kNoMetric;
   std::array<obs::MetricId, 4> m_aborts_{obs::kNoMetric, obs::kNoMetric,
                                          obs::kNoMetric, obs::kNoMetric};
+  // SoftHtm read-tier counters (htm.read_promote.*, htm.aborts.capacity.*),
+  // registered alongside the rt.* metrics and handed to every ThreadHandle's
+  // context with its own lane. These let abort attribution distinguish a
+  // capacity abort raised while reads were still signature-only from one
+  // raised under exact accounting.
+  htm::HtmMetrics htm_metrics_;
 };
 
 }  // namespace seer::rt

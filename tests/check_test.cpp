@@ -223,6 +223,74 @@ TEST(FaultPlan, ThreadedExecutorPassthroughStillCompletes) {
       << "the injected aborts reached the policy's accounting";
 }
 
+// ------------------------------------------- tier-promotion boundary ----
+// With max_read_set = 8 the Tier-0 replay log holds exactly 8 reads; the
+// 9th LOGGED read (occurrence 8) lands on the budget boundary and is the
+// read that promotes to exact tracking (DESIGN.md §10). Duplicate re-reads
+// keep the distinct count at 8, so promotion dedups back under budget and
+// the transaction commits rather than capacity-aborting.
+
+TEST(FaultPlan, ForcedFaultPinsThePromotionTriggeringRead) {
+  htm::SoftHtm tm{htm::SoftHtm::Config{.max_read_set = 8}};
+  htm::SoftHtm::ThreadContext ctx(tm);
+  FaultPlan plan;
+  plan.force(0, htm::TxOp::kRead, /*occurrence=*/8, htm::AbortStatus::conflict());
+  ctx.set_fault_injector(&plan);
+  std::vector<htm::TmWord> words(8);
+  int reads_completed = 0;
+  auto body = [&](htm::SoftHtm::Tx& tx) {
+    std::uint64_t acc = 0;
+    for (auto& w : words) {
+      acc += tx.read(w);
+      ++reads_completed;
+    }
+    acc += tx.read(words[0]);  // logged read 9: the promoting read
+    ++reads_completed;
+    (void)acc;
+  };
+  const htm::AbortStatus s = ctx.attempt(body);
+  EXPECT_FALSE(committed(s));
+  EXPECT_EQ(reads_completed, 8) << "the fault fires before the promoting read";
+  EXPECT_EQ(ctx.read_promotions_capacity(), 0u)
+      << "the attempt died before promote_reads ran";
+
+  reads_completed = 0;
+  const htm::AbortStatus retry = ctx.attempt(body);
+  EXPECT_TRUE(committed(retry));
+  EXPECT_EQ(reads_completed, 9);
+  EXPECT_EQ(ctx.read_promotions_capacity(), 1u)
+      << "the retry crossed the boundary and promoted";
+}
+
+TEST(FaultPlan, FaultJustAfterPromotionRollsBackTheExactTier) {
+  // Kill the read AFTER the promoting one: the attempt dies with the exact
+  // tier active and the replayed index populated. Rollback must leave the
+  // context able to re-enter Tier 0 on the retry and promote again.
+  htm::SoftHtm tm{htm::SoftHtm::Config{.max_read_set = 8}};
+  htm::SoftHtm::ThreadContext ctx(tm);
+  FaultPlan plan;
+  plan.force(0, htm::TxOp::kRead, /*occurrence=*/9, htm::AbortStatus::capacity());
+  ctx.set_fault_injector(&plan);
+  std::vector<htm::TmWord> words(8);
+  auto body = [&](htm::SoftHtm::Tx& tx) {
+    std::uint64_t acc = 0;
+    for (auto& w : words) acc += tx.read(w);
+    acc += tx.read(words[0]);  // logged read 9: promotes
+    acc += tx.read(words[1]);  // logged read 10: exact tier — killed
+    (void)acc;
+  };
+  const htm::AbortStatus s = ctx.attempt(body);
+  EXPECT_FALSE(committed(s));
+  EXPECT_EQ(s.cause(), htm::AbortCause::kCapacity);
+  EXPECT_EQ(ctx.read_promotions_capacity(), 1u)
+      << "the first attempt promoted before dying";
+
+  const htm::AbortStatus retry = ctx.attempt(body);
+  EXPECT_TRUE(committed(retry));
+  EXPECT_EQ(ctx.read_promotions_capacity(), 2u)
+      << "every attempt starts over in Tier 0 and re-promotes";
+}
+
 // ----------------------------------------------------- opacity verifier ----
 
 TEST(Opacity, CleanSingleThreadHistoryVerifies) {
@@ -466,6 +534,56 @@ TEST(OpacityGate, SkipReadValidationDefectBreaksSnapshots) {
   ASSERT_TRUE(committed(s));
   const OpacityReport report = verify_opacity({&log_a, &log_b}, initial);
   EXPECT_FALSE(report.ok()) << "mixed-snapshot read set must be flagged";
+}
+
+TEST(OpacityGate, CommitValidationGuardsReadsOnBothSidesOfThePromotion) {
+  // The doomed read is taken in Tier 0 (signature + replay log only), the
+  // read set then crosses the promotion boundary, and only commit-time
+  // validation can catch the stale value. On a healthy TM the cross-tier
+  // commit must abort; with kSkipCommitValidation the zombie publishes and
+  // the offline replay must flag the stale read — proving the Tier-0 log
+  // carries enough to validate reads made before the exact index existed.
+  for (const bool broken : {false, true}) {
+    htm::SoftHtm tm(htm::SoftHtm::Config{
+        .max_read_set = 8,
+        .defect = broken ? htm::SoftHtm::Defect::kSkipCommitValidation
+                         : htm::SoftHtm::Defect::kNone});
+    htm::SoftHtm::ThreadContext a(tm);
+    htm::SoftHtm::ThreadContext b(tm);
+    htm::TxLog log_a;
+    htm::TxLog log_b;
+    a.set_tx_log(&log_a);
+    b.set_tx_log(&log_b);
+    htm::TmWord w{0};
+    htm::TmWord y{0};
+    std::vector<htm::TmWord> fill(7);
+    MemorySnapshot initial;
+    snapshot_words(initial, &w, 1);
+    snapshot_words(initial, &y, 1);
+    snapshot_words(initial, fill.data(), fill.size());
+
+    const htm::AbortStatus s = a.attempt([&](htm::SoftHtm::Tx& tx) {
+      const std::uint64_t v = tx.read(w);  // Tier-0 read, about to go stale
+      const htm::AbortStatus sb =
+          b.attempt([&](htm::SoftHtm::Tx& txb) { txb.write(w, 7); });
+      ASSERT_TRUE(committed(sb));
+      for (auto& f : fill) (void)tx.read(f);  // fills the 8-slot log
+      (void)tx.read(fill[0]);                 // logged read 9: promotes
+      tx.write(y, v + 1);  // carries the doomed read into a published write
+    });
+    EXPECT_EQ(a.read_promotions_capacity(), 1u)
+        << "the interleaving must actually cross the tier boundary";
+    const OpacityReport report = verify_opacity({&log_a, &log_b}, initial);
+    if (broken) {
+      ASSERT_TRUE(committed(s)) << "the broken TM must NOT detect the conflict";
+      ASSERT_FALSE(report.ok()) << "the checker must flag the zombie commit";
+      EXPECT_EQ(report.violations.front().kind, ViolationKind::kStaleRead);
+    } else {
+      EXPECT_FALSE(committed(s))
+          << "a healthy TM validates the Tier-0 read at commit and aborts";
+      EXPECT_TRUE(report.ok()) << to_string(report.violations.front());
+    }
+  }
 }
 
 }  // namespace

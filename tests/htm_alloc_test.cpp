@@ -79,5 +79,81 @@ TEST(SoftHtmAlloc, WriterCommitPathIsAllocationFreeOnceWarm) {
   for (auto& w : words) EXPECT_EQ(w.load(), 108u);
 }
 
+TEST(SoftHtmAlloc, Tier0ReadOnlyTransactionsAreAllocationFreeFromTheFirstRun) {
+  // The Tier-0 replay log is a fixed buffer sized at context construction
+  // (max_read_set slots) and the signature is inline: a read-only
+  // transaction that stays in Tier 0 must not allocate even on its very
+  // first attempt — there is nothing to warm up.
+  SoftHtm tm;
+  SoftHtm::ThreadContext ctx(tm);
+  std::vector<TmWord> words(256);
+  const std::uint64_t before = g_news.load();
+  for (int i = 0; i < 50; ++i) {
+    std::uint64_t acc = 0;
+    ASSERT_TRUE(committed(ctx.attempt([&](SoftHtm::Tx& tx) {
+      for (auto& w : words) acc += tx.read(w);
+    })));
+    ASSERT_FALSE(ctx.read_tier_is_exact()) << "256 reads must stay Tier 0";
+  }
+  EXPECT_EQ(g_news.load(), before)
+      << "a Tier-0 read-only transaction must never hit the allocator";
+}
+
+TEST(SoftHtmAlloc, PromotionAllocatesOnceThenSteadyStatePromotionsAreFree) {
+  // Promotion rebuilds the exact index and reads_ vector from the replay
+  // log. The first promotion at a given size may grow both (bounded
+  // allocations); every later promotion through the same context must
+  // reuse them and stay allocation-free.
+  SoftHtm tm{SoftHtm::Config{.max_read_set = 64}};
+  SoftHtm::ThreadContext ctx(tm);
+  std::vector<TmWord> words(64);
+  auto promoting_body = [&](SoftHtm::Tx& tx) {
+    std::uint64_t acc = 0;
+    for (auto& w : words) acc += tx.read(w);
+    acc += tx.read(words[0]);  // budget-boundary read: forces promotion
+    (void)acc;
+  };
+  ASSERT_TRUE(committed(ctx.attempt(promoting_body)));
+  ASSERT_TRUE(ctx.read_tier_is_exact());
+  ASSERT_EQ(ctx.read_promotions_capacity(), 1u);
+
+  const std::uint64_t before = g_news.load();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(committed(ctx.attempt(promoting_body)));
+  }
+  EXPECT_EQ(g_news.load(), before)
+      << "steady-state promotions must replay into the reused index";
+  EXPECT_EQ(ctx.read_promotions_capacity(), 101u);
+}
+
+TEST(SoftHtmAlloc, WarmPostPromotionWriterCommitsAreAllocationFree) {
+  // A writer that crosses the tier boundary every transaction: fills the
+  // Tier-0 log to the budget, keeps reading (duplicates — the log counts
+  // them, the exact index dedups them back under budget), writes, commits.
+  // Once warm, the whole cycle — Tier-0 logging, promotion replay, exact
+  // tail, commit validation over both tiers' read sets — must not allocate.
+  SoftHtm tm{SoftHtm::Config{.max_read_set = 64}};
+  SoftHtm::ThreadContext ctx(tm);
+  std::vector<TmWord> words(64);
+  auto body = [&](SoftHtm::Tx& tx) {
+    std::uint64_t acc = 0;
+    for (auto& w : words) acc += tx.read(w);  // fills the 64-slot log
+    for (int i = 0; i < 32; ++i) {
+      acc += tx.read(words[i]);  // promotes at logged read 65, dedups
+    }
+    tx.write(words[0], acc);
+  };
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(committed(ctx.attempt(body)));
+    ASSERT_TRUE(ctx.read_tier_is_exact());
+  }
+  const std::uint64_t before = g_news.load();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(committed(ctx.attempt(body)));
+  }
+  EXPECT_EQ(g_news.load(), before)
+      << "a warm promote-read-write-commit cycle must never hit the allocator";
+}
+
 }  // namespace
 }  // namespace seer::htm

@@ -420,7 +420,10 @@ TEST(SoftHtm, StampEpochWraparoundDoesNotResurrectState) {
   // its maximum makes the next begin() wrap to 0, which must hard-reset
   // every epoch-tagged structure before recycling epoch 1 — otherwise the
   // first attempt's index entries come back from the dead.
-  SoftHtm tm;
+  // kExact: under adaptive tracking these few reads would stay in the
+  // Tier-0 log and never touch the epoch-stamped read index this test
+  // exists to exercise.
+  SoftHtm tm(SoftHtm::Config{.read_tracking = SoftHtm::ReadTracking::kExact});
   SoftHtm::ThreadContext ctx(tm);
   TmWord w{0};
   TmWord r{0};
@@ -467,6 +470,94 @@ TEST(SoftHtm, ReReadsConsumeNoReadCapacity) {
   EXPECT_TRUE(committed(s));
 
   // One more distinct word crosses the cap.
+  TmWord extra{0};
+  const AbortStatus over = ctx.attempt([&](SoftHtm::Tx& tx) {
+    for (auto& w : words) (void)tx.read(w);
+    (void)tx.read(extra);
+  });
+  EXPECT_FALSE(committed(over));
+  EXPECT_EQ(over.cause(), AbortCause::kCapacity);
+}
+
+// ------------------------------------- adaptive read-tracking tiers ----
+// DESIGN.md §10: reads start signature-only (Tier 0, a fixed replay log +
+// Bloom signature) and promote to the exact per-word index only when the
+// log reaches the capacity budget or the signature saturates.
+
+TEST(SoftHtm, AdaptiveReadTrackingPromotesAtTheBudgetBoundary) {
+  SoftHtm tm(SoftHtm::Config{.max_read_set = 8});
+  SoftHtm::ThreadContext ctx(tm);
+  std::vector<TmWord> words(8);
+
+  // 8 distinct reads fit the Tier-0 log exactly: no promotion.
+  AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) {
+    for (auto& w : words) (void)tx.read(w);
+    if (ctx.read_tier_is_exact()) tx.abort(0x01);
+    if (ctx.read_set_size() != words.size()) tx.abort(0x02);
+  });
+  EXPECT_TRUE(committed(s));
+  EXPECT_EQ(ctx.read_promotions_capacity(), 0u);
+  EXPECT_EQ(ctx.read_promotions_saturation(), 0u);
+
+  // A 9th LOGGED read — a duplicate — fills the log: the boundary read
+  // promotes, the replay dedups back to 8 distinct, and the transaction
+  // commits instead of capacity-aborting.
+  s = ctx.attempt([&](SoftHtm::Tx& tx) {
+    for (auto& w : words) (void)tx.read(w);
+    (void)tx.read(words[0]);
+    if (!ctx.read_tier_is_exact()) tx.abort(0x03);
+    if (ctx.read_set_size() != words.size()) tx.abort(0x04);
+  });
+  EXPECT_TRUE(committed(s));
+  EXPECT_EQ(ctx.read_promotions_capacity(), 1u);
+  EXPECT_EQ(ctx.read_promotions_saturation(), 0u);
+
+  // Every attempt starts over in Tier 0 — the promotion does not stick.
+  s = ctx.attempt([&](SoftHtm::Tx& tx) {
+    (void)tx.read(words[0]);
+    if (ctx.read_tier_is_exact()) tx.abort(0x05);
+  });
+  EXPECT_TRUE(committed(s));
+  EXPECT_EQ(ctx.read_promotions_capacity(), 1u);
+}
+
+TEST(SoftHtm, SignatureSaturationPromotesWellBeforeTheBudget) {
+  // 2048 distinct reads against the 1024-bit signature push its population
+  // far past the saturation threshold (expected ~885 bits set), so the
+  // checkpoint scan must promote on saturation long before the 4096-word
+  // budget — and the exact tail must still account every distinct word.
+  SoftHtm tm;
+  SoftHtm::ThreadContext ctx(tm);
+  std::vector<TmWord> words(2048);
+  const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) {
+    std::uint64_t acc = 0;
+    for (auto& w : words) acc += tx.read(w);
+    (void)acc;
+    if (!ctx.read_tier_is_exact()) tx.abort(0x01);
+    if (ctx.read_set_size() != words.size()) tx.abort(0x02);
+  });
+  EXPECT_TRUE(committed(s));
+  EXPECT_EQ(ctx.read_promotions_saturation(), 1u);
+  EXPECT_EQ(ctx.read_promotions_capacity(), 0u);
+}
+
+TEST(SoftHtm, ExactReadTrackingModeNeverEntersTier0) {
+  SoftHtm tm(SoftHtm::Config{.max_read_set = 8,
+                             .read_tracking = SoftHtm::ReadTracking::kExact});
+  SoftHtm::ThreadContext ctx(tm);
+  std::vector<TmWord> words(8);
+  const AbortStatus s = ctx.attempt([&](SoftHtm::Tx& tx) {
+    if (!ctx.read_tier_is_exact()) tx.abort(0x01);
+    for (auto& w : words) (void)tx.read(w);
+    for (int i = 0; i < 100; ++i) (void)tx.read(words[0]);  // free re-reads
+    if (ctx.read_set_size() != words.size()) tx.abort(0x02);
+  });
+  EXPECT_TRUE(committed(s));
+  EXPECT_EQ(ctx.read_promotions_capacity(), 0u)
+      << "kExact starts exact; there is nothing to promote";
+  EXPECT_EQ(ctx.read_promotions_saturation(), 0u);
+
+  // Exact capacity semantics are unchanged: one extra distinct word aborts.
   TmWord extra{0};
   const AbortStatus over = ctx.attempt([&](SoftHtm::Tx& tx) {
     for (auto& w : words) (void)tx.read(w);

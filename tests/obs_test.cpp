@@ -348,5 +348,59 @@ TEST(ObsIntegration, ThreadedExecutorRecordsCommitsAndTraces) {
   validate_chrome_json(write_and_read(trace));
 }
 
+TEST(ObsIntegration, ThreadedExecutorRegistersAndBumpsHtmTierCounters) {
+  // The executor registers the adaptive read-tracking telemetry
+  // (DESIGN.md §10) alongside its own rt.* metrics and installs it into
+  // every handle's SoftHtm context. A workload whose Tier-0 log fills every
+  // transaction must show up in htm.read_promote.capacity; nothing here
+  // saturates the signature or capacity-aborts, so those stay zero.
+  constexpr std::size_t kThreads = 2;
+  constexpr int kTxPerThread = 50;
+  MetricsRegistry reg(kThreads);
+  htm::SoftHtm tm{htm::SoftHtm::Config{.max_read_set = 16}};
+  rt::ThreadedExecutor::Options opts;
+  opts.n_threads = kThreads;
+  opts.n_types = 1;
+  opts.physical_cores = 2;
+  opts.metrics = &reg;
+  rt::PolicyConfig policy;
+  policy.kind = rt::PolicyKind::kRtm;
+  rt::ThreadedExecutor exec(tm, policy, opts);
+  reg.freeze();
+
+  std::vector<std::thread> threads;
+  for (core::ThreadId id = 0; id < kThreads; ++id) {
+    threads.emplace_back([&, id] {
+      auto h = exec.make_handle(id);
+      std::vector<htm::TmWord> words(16);  // per-thread: no conflicts
+      for (int i = 0; i < kTxPerThread; ++i) {
+        h->run(0, [&](auto& tx) {
+          std::uint64_t acc = 0;
+          for (auto& w : words) acc += tx.read(w);
+          acc += tx.read(words[0]);  // 17th logged read: promotes
+          tx.write(words[0], acc);
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const MetricsSnapshot snap = reg.snapshot();
+  std::uint64_t found = 0;
+  std::uint64_t promotions = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name.rfind("htm.", 0) != 0) continue;
+    ++found;
+    if (c.name == "htm.read_promote.capacity") {
+      promotions = c.value;
+    } else {
+      EXPECT_EQ(c.value, 0u) << c.name << " must stay untouched";
+    }
+  }
+  EXPECT_EQ(found, 4u) << "all four htm.* counters must be registered";
+  EXPECT_GE(promotions, kThreads * static_cast<std::uint64_t>(kTxPerThread))
+      << "every committed transaction crossed the tier boundary";
+}
+
 }  // namespace
 }  // namespace seer::obs

@@ -21,6 +21,7 @@
 #include "check/fault_plan.hpp"
 #include "check/opacity.hpp"
 #include "htm/soft_htm.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/threaded_executor.hpp"
 #include "util/rng.hpp"
 
@@ -71,11 +72,17 @@ struct Outcome {
   std::uint64_t expected_total = 0;  // sum of all per-word increments
   std::uint64_t actual_total = 0;
   std::uint64_t injected = 0;
+  std::uint64_t promotions = 0;  // htm.read_promote.* across all threads
 };
 
-Outcome run_iteration(std::uint64_t seed, htm::SoftHtm::Defect defect) {
+Outcome run_iteration(std::uint64_t seed, htm::SoftHtm::Defect defect,
+                      std::size_t max_read_set = 0) {
   const Shape shape = shape_for(seed);
-  htm::SoftHtm tm(htm::SoftHtm::Config{.defect = defect});
+  htm::SoftHtm::Config cfg{.defect = defect};
+  // 0 keeps the library default; a tiny budget forces the adaptive read
+  // tracking to cross the Tier-0/exact boundary mid-transaction.
+  if (max_read_set != 0) cfg.max_read_set = max_read_set;
+  htm::SoftHtm tm(cfg);
   rt::PolicyConfig policy;
   policy.kind = shape.policy;
   if (shape.policy == rt::PolicyKind::kSeer) {
@@ -86,7 +93,10 @@ Outcome run_iteration(std::uint64_t seed, htm::SoftHtm::Defect defect) {
   opts.n_threads = shape.n_threads;
   opts.n_types = shape.n_types;
   opts.physical_cores = 2;
+  obs::MetricsRegistry metrics(shape.n_threads);
+  opts.metrics = &metrics;
   rt::ThreadedExecutor exec(tm, policy, opts);
+  metrics.freeze();
 
   std::vector<htm::TmWord> words(shape.n_words);
   MemorySnapshot initial;
@@ -151,6 +161,12 @@ Outcome run_iteration(std::uint64_t seed, htm::SoftHtm::Defect defect) {
   for (const std::uint64_t n : increments) out.expected_total += n;
   for (const auto& w : words) out.actual_total += w.load();
   for (const auto& p : plans) out.injected += p.total_injected();
+  for (const auto& c : metrics.snapshot().counters) {
+    if (c.name == "htm.read_promote.capacity" ||
+        c.name == "htm.read_promote.saturation") {
+      out.promotions += c.value;
+    }
+  }
   return out;
 }
 
@@ -183,6 +199,40 @@ TEST(PropertyHarness, RandomWorkloadsStayOpaque) {
     EXPECT_GT(injected_somewhere, 0u)
         << "the fault plans never fired — the harness is not exercising aborts";
   }
+}
+
+// Tier-transition sweep: a read-set budget of 4 against bodies that log up
+// to ~7 reads (plus retries' duplicates) forces a steady mix of Tier-0-only
+// commits, mid-body promotions, exact-tier capacity aborts, and SGL
+// fallbacks — opacity and exact counts must survive all of it. The
+// promotion counters prove the sweep actually crosses the boundary rather
+// than vacuously passing in Tier 0.
+TEST(PropertyHarness, RandomWorkloadsStayOpaqueAcrossTierTransitions) {
+  const std::uint64_t master = env_u64("SEER_PROPERTY_SEED", 0);
+  const std::uint64_t iters = master != 0 ? 1 : env_u64("SEER_PROPERTY_ITERS", 25);
+  std::uint64_t promoted_somewhere = 0;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::uint64_t seed = master != 0 ? master : 0x7EE5000u + i;
+    const Outcome out = run_iteration(seed, htm::SoftHtm::Defect::kNone,
+                                      /*max_read_set=*/4);
+    promoted_somewhere += out.promotions;
+    if (!out.report.ok()) {
+      FAIL() << "opacity violation at seed " << seed << ": "
+             << to_string(out.report.violations.front()) << "\n"
+             << replay_hint(seed);
+    }
+    ASSERT_EQ(out.actual_total, out.expected_total)
+        << "lost/phantom update at seed " << seed << "\n"
+        << replay_hint(seed);
+  }
+#if SEER_OBS_ENABLED
+  if (iters > 1) {
+    EXPECT_GT(promoted_somewhere, 0u)
+        << "no transaction ever promoted — the sweep is not crossing tiers";
+  }
+#else
+  (void)promoted_somewhere;  // counters are stubs under SEER_OBS=OFF
+#endif
 }
 
 // Acceptance gate: a TM that skips commit-time read-set validation must be

@@ -350,12 +350,18 @@ void report_metrics(const Value& metrics_doc, const Value& run) {
     std::printf("  metrics:");
     bool any = false;
     for (const auto& [name, v] : counters->object) {
-      if (name.rfind("seer.", 0) != 0 && name.rfind("sim.", 0) != 0) continue;
+      // htm.* carries the adaptive read-tracking telemetry (DESIGN.md §10):
+      // promotion counts plus the sig_only/exact split of capacity aborts,
+      // which attributes a capacity regression to the tier that raised it.
+      if (name.rfind("seer.", 0) != 0 && name.rfind("sim.", 0) != 0 &&
+          name.rfind("htm.", 0) != 0) {
+        continue;
+      }
       std::printf(" %s=%llu", name.c_str(),
                   static_cast<unsigned long long>(v.as_u64()));
       any = true;
     }
-    if (!any) std::printf(" (no seer.*/sim.* counters)");
+    if (!any) std::printf(" (no seer.*/sim.*/htm.* counters)");
     std::printf("\n");
     return;
   }
