@@ -23,6 +23,7 @@
 #include "stamp/workloads.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
+#include "workload/registry.hpp"
 
 namespace seer::bench {
 
@@ -36,7 +37,8 @@ struct Options {
   std::string metrics_path; // per-run MetricsRegistry snapshots (--metrics)
   std::string trace_path;   // Chrome trace_event JSON of cell 0 (--trace)
   std::string snapshots_path;  // per-run flight-recorder dumps (--snapshots)
-  std::vector<std::string> workloads;  // empty = all eight
+  std::string record_path;     // instance-trace capture of cell 0 (--record)
+  std::vector<std::string> workloads;  // names or *.json configs; empty = all eight
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -65,13 +67,15 @@ struct Options {
         o.trace_path = next();
       } else if (arg == "--snapshots") {
         o.snapshots_path = next();
+      } else if (arg == "--record") {
+        o.record_path = next();
       } else if (arg == "--workload") {
         o.workloads.push_back(next());
       } else if (arg == "--help" || arg == "-h") {
         std::printf(
             "options: --runs N  --txs-scale F  --seed S  --jobs N  "
             "--json PATH  --metrics PATH  --trace PATH  --snapshots PATH  "
-            "--workload NAME (repeatable)\n");
+            "--record PATH  --workload NAME|FILE.json (repeatable)\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown option %s\n", arg.c_str());
@@ -88,16 +92,26 @@ struct Options {
                     : util::ThreadPool::hardware_jobs();
   }
 
-  [[nodiscard]] std::vector<stamp::WorkloadInfo> selected() const {
-    std::vector<stamp::WorkloadInfo> out;
-    for (const auto& info : stamp::all_workloads()) {
+  // Resolves --workload arguments through the generator registry: each is a
+  // registered NAME or a FILE.json config; no arguments selects the eight
+  // STAMP workloads in the paper's presentation order. A bad name or config
+  // is a CLI usage error: diagnostic on stderr, exit 2 (same contract as
+  // parse()).
+  [[nodiscard]] std::vector<workload::Desc> selected() const {
+    std::vector<workload::Desc> out;
+    try {
       if (workloads.empty()) {
-        out.push_back(info);
-        continue;
+        for (const auto& name : workload::stamp_names()) {
+          out.push_back(workload::find(name));
+        }
+      } else {
+        for (const auto& w : workloads) {
+          out.push_back(workload::resolve(w));
+        }
       }
-      for (const auto& w : workloads) {
-        if (info.name == w) out.push_back(info);
-      }
+    } catch (const workload::ConfigError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      std::exit(2);
     }
     return out;
   }

@@ -72,7 +72,8 @@ std::string params_json(const core::InferenceParams& p) {
 
 }  // namespace
 
-CellResult run_cell(const Cell& cell, const Options& opts, obs::TraceSink* trace) {
+CellResult run_cell(const Cell& cell, const Options& opts, obs::TraceSink* trace,
+                    workload::InstanceTrace* record) {
   CellResult out;
   Summary& sum = out.summary;
   util::RunningStats speedup;
@@ -101,8 +102,15 @@ CellResult run_cell(const Cell& cell, const Options& opts, obs::TraceSink* trace
     // fed only by this run's single-threaded simulator.
     obs::FlightRecorder recorder;
     if (want_snapshots) cfg.recorder = &recorder;
-    sim::Machine machine(
-        cfg, std::make_unique<stamp::SpecWorkload>(cell.info.spec(), cell.threads));
+    // The cell's generator comes from the registry (or an implicit STAMP
+    // adapter); --record wraps the first seed's instance stream in a
+    // pass-through recorder, leaving the draws untouched.
+    std::unique_ptr<sim::Workload> wl = cell.info.make(cell.threads);
+    if (record != nullptr && r == 0) {
+      wl = std::make_unique<workload::InstanceTraceRecorder>(
+          std::move(wl), cell.threads, record);
+    }
+    sim::Machine machine(cfg, std::move(wl));
     reg.freeze();  // every component has registered by now
     const sim::MachineStats s = machine.run();
 
@@ -183,10 +191,23 @@ std::vector<CellResult> run_cells(const std::vector<Cell>& cells,
   if (!opts.trace_path.empty() && !cells.empty()) {
     trace = std::make_unique<obs::TraceSink>(cells[0].threads);
   }
+  // --record follows the same cell-0/first-seed convention as --trace.
+  std::unique_ptr<workload::InstanceTrace> record;
+  if (!opts.record_path.empty() && !cells.empty()) {
+    record = std::make_unique<workload::InstanceTrace>();
+  }
   auto results = util::parallel_for_indexed(
       opts.effective_jobs(), cells.size(), [&](std::size_t i) {
-        return run_cell(cells[i], opts, i == 0 ? trace.get() : nullptr);
+        return run_cell(cells[i], opts, i == 0 ? trace.get() : nullptr,
+                        i == 0 ? record.get() : nullptr);
       });
+  if (record != nullptr) {
+    if (!workload::write_trace_json(*record, opts.record_path)) {
+      std::fprintf(stderr, "cannot open --record path: %s\n",
+                   opts.record_path.c_str());
+      std::exit(2);
+    }
+  }
   if (trace != nullptr) {
     if (!trace->write_chrome_json(opts.trace_path)) {
       std::fprintf(stderr, "cannot open --trace path: %s\n", opts.trace_path.c_str());
@@ -210,7 +231,7 @@ std::vector<CellResult> run_cells(const std::vector<Cell>& cells,
   return results;
 }
 
-Summary run_config(const stamp::WorkloadInfo& info, const Options& opts,
+Summary run_config(const workload::Desc& info, const Options& opts,
                    rt::PolicyConfig policy, std::size_t threads) {
   Cell cell;
   cell.info = info;

@@ -15,11 +15,15 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "workload/trace.hpp"
 
 namespace seer::bench {
 
 struct Cell {
-  stamp::WorkloadInfo info;
+  // Any registered generator (workload::Desc converts implicitly from
+  // stamp::WorkloadInfo, so exhibits that hand-build STAMP cells compile
+  // unchanged).
+  workload::Desc info;
   rt::PolicyConfig policy;
   std::size_t threads = 8;
   // Label used in --json output; defaults to to_string(policy.kind) when
@@ -57,19 +61,23 @@ struct CellResult {
 
 // Runs one configuration over opts.runs seeds — the serial kernel. When
 // `trace` is non-null the first seed's run records trace events into it
-// (the sink's lane count must cover cell.threads).
+// (the sink's lane count must cover cell.threads). When `record` is
+// non-null the first seed's workload stream is captured into it as an
+// instance trace (replayable via the "trace-replay" generator).
 [[nodiscard]] CellResult run_cell(const Cell& cell, const Options& opts,
-                                  obs::TraceSink* trace = nullptr);
+                                  obs::TraceSink* trace = nullptr,
+                                  workload::InstanceTrace* record = nullptr);
 
 // Runs every cell across opts.effective_jobs() workers; result i belongs to
 // cells[i]. Exceptions from a cell propagate (lowest index first). With
 // --trace, cell 0's first seed is traced and the Chrome JSON is written to
-// opts.trace_path before returning.
+// opts.trace_path before returning; with --record, cell 0's first seed's
+// instance stream is written to opts.record_path the same way.
 [[nodiscard]] std::vector<CellResult> run_cells(const std::vector<Cell>& cells,
                                                 const Options& opts);
 
 // One-off convenience used by tests and ad-hoc probes.
-[[nodiscard]] Summary run_config(const stamp::WorkloadInfo& info,
+[[nodiscard]] Summary run_config(const workload::Desc& info,
                                  const Options& opts, rt::PolicyConfig policy,
                                  std::size_t threads);
 

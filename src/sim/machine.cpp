@@ -117,9 +117,17 @@ void Machine::push(Time at, core::ThreadId th, EventKind kind, std::uint64_t gen
 
 MachineStats Machine::run() {
   // Stagger thread starts by one think time each (and count those think
-  // times toward the sequential-execution estimate).
+  // times toward the sequential-execution estimate). A generator with an
+  // empty stream for a thread (e.g. replaying a shorter trace) retires that
+  // thread before it ever starts.
   for (auto& t : threads_) {
-    const std::uint64_t think = workload_->think_time(t->rng);
+    workload_->init(t->id);
+    if (workload_->exhausted(t->id)) {
+      t->st = ThreadCtx::St::kDone;
+      ++done_count_;
+      continue;
+    }
+    const std::uint64_t think = workload_->think_time(t->id, t->rng);
     stats_.serial_work += think;
     push(think, t->id, EventKind::kStartTx, kAnyGen);
   }
@@ -512,13 +520,13 @@ void Machine::finish_tx(ThreadCtx& t, bool hardware) {
 
   stats_.serial_work += t.inst.duration;
   ++t.txs_done;
-  if (t.txs_done >= cfg_.txs_per_thread) {
+  if (t.txs_done >= cfg_.txs_per_thread || workload_->exhausted(t.id)) {
     t.st = ThreadCtx::St::kDone;
     ++done_count_;
     return;
   }
   t.st = ThreadCtx::St::kIdle;
-  const std::uint64_t think = workload_->think_time(t.rng);
+  const std::uint64_t think = workload_->think_time(t.id, t.rng);
   stats_.serial_work += think;
   push(now_ + t.pending_cost + think, t.id, EventKind::kStartTx, kAnyGen);
   t.pending_cost = 0;

@@ -26,6 +26,21 @@ struct TxInstance {
   [[nodiscard]] std::size_t footprint_lines() const noexcept;
 };
 
+// The generator contract (DESIGN.md §11). Both executors — the machine
+// simulator and the real-threads driver — speak exactly this protocol, per
+// thread:
+//
+//   init(t)                        once, before the thread's first instance;
+//   loop:
+//     think_time(t, rng)           inter-transaction gap (cycles);
+//     exhausted(t)?                end-of-stream — the thread retires;
+//     next(t, progress, rng, out)  sample the next transaction instance.
+//
+// Implementations must be usable from multiple threads concurrently as long
+// as each ThreadId is driven by one caller at a time (the per-thread lanes
+// of stateful generators — trace cursors, phase trackers — are single-
+// writer). `workload::Generator` (src/workload/generator.hpp) is the same
+// type; the registry and JSON config front-end trade in that alias.
 class Workload {
  public:
   virtual ~Workload() = default;
@@ -34,13 +49,29 @@ class Workload {
   [[nodiscard]] virtual std::size_t n_types() const = 0;
   [[nodiscard]] virtual const std::string& type_name(core::TxTypeId t) const = 0;
 
+  // Called once per thread before its first think_time/next call. Stateful
+  // generators reset their per-thread lanes here so one instance can drive
+  // several runs.
+  virtual void init(core::ThreadId thread) { (void)thread; }
+
+  // End-of-stream signal: true once `thread` has no further instances (a
+  // replayed trace ran out, a finite script completed). Unbounded
+  // generators — every STAMP spec — never exhaust; the executor's
+  // txs_per_thread cap bounds those runs instead.
+  [[nodiscard]] virtual bool exhausted(core::ThreadId thread) const {
+    (void)thread;
+    return false;
+  }
+
   // Samples the next transaction instance for `thread`. `progress` is the
   // thread's completed fraction of its run in [0, 1] (drives phase mixes).
+  // Must not be called for an exhausted thread.
   virtual void next(core::ThreadId thread, double progress, util::Xoshiro256& rng,
                     TxInstance& out) = 0;
 
   // Think time (cycles) between transactions.
-  [[nodiscard]] virtual std::uint64_t think_time(util::Xoshiro256& rng) = 0;
+  [[nodiscard]] virtual std::uint64_t think_time(core::ThreadId thread,
+                                                 util::Xoshiro256& rng) = 0;
 };
 
 // True when `a.writes` intersects `b.reads ∪ b.writes` — a's speculative

@@ -103,7 +103,8 @@ void SpecWorkload::next(core::ThreadId thread, double progress, util::Xoshiro256
   canonicalize(out.writes);
 }
 
-std::uint64_t SpecWorkload::think_time(util::Xoshiro256& rng) {
+std::uint64_t SpecWorkload::think_time(core::ThreadId /*thread*/,
+                                       util::Xoshiro256& rng) {
   if (spec_.think_mean == 0) return 0;
   // Exponentially distributed inter-transaction gap.
   const double u = std::max(rng.uniform01(), 1e-12);

@@ -77,7 +77,8 @@ class SpecWorkload final : public sim::Workload {
   void next(core::ThreadId thread, double progress, util::Xoshiro256& rng,
             sim::TxInstance& out) override;
 
-  [[nodiscard]] std::uint64_t think_time(util::Xoshiro256& rng) override;
+  [[nodiscard]] std::uint64_t think_time(core::ThreadId thread,
+                                         util::Xoshiro256& rng) override;
 
   [[nodiscard]] const WorkloadSpec& spec() const noexcept { return spec_; }
 

@@ -6,6 +6,7 @@
 // both are tiny, fast, allocation-free, and well studied.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -85,6 +86,17 @@ class Xoshiro256 {
   // Derive an independent child generator (for per-thread streams).
   constexpr Xoshiro256 split() noexcept {
     return Xoshiro256(next() ^ 0xa02be1badb0d5eedULL);
+  }
+
+  // Full-state checkpointing. Workload trace replay (src/workload/trace.hpp)
+  // records the post-call state of the per-thread stream so that replaying a
+  // captured instance sequence leaves the generator exactly where the
+  // recording run did — the machine's own draws then continue unchanged.
+  [[nodiscard]] constexpr std::array<std::uint64_t, 4> state() const noexcept {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  constexpr void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    for (std::size_t i = 0; i < 4; ++i) s_[i] = s[i];
   }
 
  private:

@@ -1,0 +1,154 @@
+#include "workload/bst.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+#include "workload/json_util.hpp"
+
+namespace seer::workload {
+
+using jsonu::Value;
+
+namespace {
+const std::string kTypeNames[3] = {"add", "remove", "contains"};
+}
+
+std::unique_ptr<BstWorkload> BstWorkload::from_json(const Value& params,
+                                                    const std::string& origin,
+                                                    const std::string& name) {
+  jsonu::reject_unknown(params,
+                        {"keys", "mix", "key_skew", "base_cost", "node_cost",
+                         "think_mean", "shape_seed"},
+                        origin);
+  Config cfg;
+  const std::uint64_t keys = jsonu::opt_u64(params, "keys", cfg.keys, origin);
+  if (keys < 2 || keys > (1u << 22)) {
+    jsonu::fail(jsonu::sub(origin, "keys"), "must be in [2, 2^22]");
+  }
+  cfg.keys = static_cast<std::uint32_t>(keys);
+  if (const Value* mix = params.find("mix"); mix != nullptr) {
+    const std::string mo = jsonu::sub(origin, "mix");
+    jsonu::reject_unknown(*mix, {"add", "remove", "contains"}, mo);
+    cfg.mix_add = jsonu::opt_num(*mix, "add", 0.0, mo);
+    cfg.mix_remove = jsonu::opt_num(*mix, "remove", 0.0, mo);
+    cfg.mix_contains = jsonu::opt_num(*mix, "contains", 0.0, mo);
+    if (cfg.mix_add < 0.0 || cfg.mix_remove < 0.0 || cfg.mix_contains < 0.0) {
+      jsonu::fail(mo, "weights must be non-negative");
+    }
+    if (cfg.mix_add + cfg.mix_remove + cfg.mix_contains <= 0.0) {
+      jsonu::fail(mo, "weights must not all be zero");
+    }
+  }
+  cfg.key_skew = jsonu::opt_num(params, "key_skew", cfg.key_skew, origin);
+  if (cfg.key_skew < 0.0) {
+    jsonu::fail(jsonu::sub(origin, "key_skew"), "must be non-negative");
+  }
+  cfg.base_cost = jsonu::opt_u64(params, "base_cost", cfg.base_cost, origin);
+  if (cfg.base_cost == 0) {
+    jsonu::fail(jsonu::sub(origin, "base_cost"), "must be at least 1");
+  }
+  cfg.node_cost = jsonu::opt_u64(params, "node_cost", cfg.node_cost, origin);
+  cfg.think_mean = jsonu::opt_u64(params, "think_mean", cfg.think_mean, origin);
+  cfg.shape_seed = jsonu::opt_u64(params, "shape_seed", cfg.shape_seed, origin);
+  return std::make_unique<BstWorkload>(cfg, name);
+}
+
+BstWorkload::BstWorkload(Config cfg, std::string name)
+    : cfg_(cfg), name_(std::move(name)) {
+  const std::uint32_t n = cfg_.keys;
+
+  // Shape the tree: insert 0..n-1 in a seeded shuffled order. The shape is
+  // part of the workload's identity (same config → same tree → same
+  // conflict structure), independent of the executor's run seed.
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  util::Xoshiro256 shape_rng(cfg_.shape_seed);
+  for (std::uint32_t i = n - 1; i > 0; --i) {
+    const auto j = static_cast<std::uint32_t>(shape_rng.below(i + 1));
+    std::swap(order[i], order[j]);
+  }
+
+  constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> left(n, kNone);
+  std::vector<std::uint32_t> right(n, kNone);
+  parent_.assign(n, kNone);
+  const std::uint32_t root = order[0];
+  parent_[root] = root;
+  for (std::uint32_t i = 1; i < n; ++i) {
+    const std::uint32_t k = order[i];
+    std::uint32_t cur = root;
+    while (true) {
+      std::uint32_t& child = k < cur ? left[cur] : right[cur];
+      if (child == kNone) {
+        child = k;
+        parent_[k] = cur;
+        break;
+      }
+      cur = child;
+    }
+  }
+
+  // Flatten every root→key path once; next() only copies.
+  path_off_.assign(n + 1, 0);
+  std::vector<std::uint32_t> path;
+  for (std::uint32_t k = 0; k < n; ++k) {
+    path.clear();
+    for (std::uint32_t cur = k;; cur = parent_[cur]) {
+      path.push_back(cur);
+      if (cur == root) break;
+    }
+    path_off_[k + 1] = path_off_[k] + static_cast<std::uint32_t>(path.size());
+    path_lines_.insert(path_lines_.end(), path.rbegin(), path.rend());
+  }
+
+  if (cfg_.key_skew > 0.0) {
+    zipf_ = std::make_unique<util::Zipf>(n, cfg_.key_skew);
+  }
+}
+
+const std::string& BstWorkload::type_name(core::TxTypeId t) const {
+  return kTypeNames[static_cast<std::size_t>(t)];
+}
+
+std::size_t BstWorkload::depth(std::uint32_t key) const {
+  return path_off_[key + 1] - path_off_[key];
+}
+
+void BstWorkload::next(core::ThreadId /*thread*/, double /*progress*/,
+                       util::Xoshiro256& rng, TxInstance& out) {
+  // Operation type from the mix weights.
+  const double total = cfg_.mix_add + cfg_.mix_remove + cfg_.mix_contains;
+  const double pick = rng.uniform01() * total;
+  out.type = pick < cfg_.mix_add                   ? kAdd
+             : pick < cfg_.mix_add + cfg_.mix_remove ? kRemove
+                                                     : kContains;
+
+  const auto key = static_cast<std::uint32_t>(zipf_ ? zipf_->sample(rng)
+                                                    : rng.below(cfg_.keys));
+
+  // Reads: the search path, root included. Writes (mutations only): the
+  // node and the parent link it hangs off.
+  out.reads.assign(path_lines_.begin() + path_off_[key],
+                   path_lines_.begin() + path_off_[key + 1]);
+  std::sort(out.reads.begin(), out.reads.end());
+  out.writes.clear();
+  if (out.type != kContains) {
+    out.writes.push_back(key);
+    if (parent_[key] != key) out.writes.push_back(parent_[key]);
+    std::sort(out.writes.begin(), out.writes.end());
+  }
+
+  out.duration = cfg_.base_cost + cfg_.node_cost * depth(key);
+}
+
+std::uint64_t BstWorkload::think_time(core::ThreadId /*thread*/,
+                                      util::Xoshiro256& rng) {
+  if (cfg_.think_mean == 0) return 0;
+  const double u = std::max(rng.uniform01(), 1e-12);
+  return static_cast<std::uint64_t>(-static_cast<double>(cfg_.think_mean) *
+                                    std::log(u));
+}
+
+}  // namespace seer::workload

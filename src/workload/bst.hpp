@@ -1,0 +1,89 @@
+// Modelled binary-search-tree workload: add / remove / contains.
+//
+// The Seer-vs-baselines data-structure exhibit ROADMAP item 3 names (after
+// the LocklessTransactions TATAS-vs-HLE-vs-RTM experiment). A static BST
+// over `keys` keys is built once from a seeded random insertion order; each
+// node occupies one cache line. An operation on key k reads the root→k
+// search path; add and remove additionally write k's node and its parent
+// (the link update). Conflicts therefore have genuine tree geometry: a
+// mutation near the root invalidates every concurrent search whose path
+// crosses it, while deep-leaf mutations conflict with almost nothing —
+// exactly the asymmetric per-type conflict structure Seer's inference is
+// supposed to discover (contains vs add/remove, not contains vs contains).
+//
+// Config (the "params" object of a "bst" registry config), all optional:
+//   {
+//     "keys": 1024,          // tree size (cache lines), >= 2
+//     "mix": {"add": 2, "remove": 2, "contains": 6},
+//     "key_skew": 0.8,       // Zipf skew over keys; 0 = uniform
+//     "base_cost": 150,      // cycles per op before the walk
+//     "node_cost": 60,       // cycles per node on the search path
+//     "think_mean": 200,     // exponential inter-transaction gap
+//     "shape_seed": 1        // insertion-order seed (tree shape)
+//   }
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/zipf.hpp"
+#include "workload/generator.hpp"
+
+namespace seer::workload {
+
+class BstWorkload final : public Generator {
+ public:
+  struct Config {
+    std::uint32_t keys = 1024;
+    double mix_add = 2.0;
+    double mix_remove = 2.0;
+    double mix_contains = 6.0;
+    double key_skew = 0.8;
+    std::uint64_t base_cost = 150;
+    std::uint64_t node_cost = 60;
+    std::uint64_t think_mean = 200;
+    std::uint64_t shape_seed = 1;
+  };
+
+  // Validated construction from the params JSON. Throws ConfigError naming
+  // the bad key.
+  [[nodiscard]] static std::unique_ptr<BstWorkload> from_json(
+      const util::json::Value& params, const std::string& origin,
+      const std::string& name);
+
+  explicit BstWorkload(Config cfg, std::string name = "bst");
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::size_t n_types() const override { return 3; }
+  [[nodiscard]] const std::string& type_name(core::TxTypeId t) const override;
+
+  void next(core::ThreadId thread, double progress, util::Xoshiro256& rng,
+            TxInstance& out) override;
+  [[nodiscard]] std::uint64_t think_time(core::ThreadId thread,
+                                         util::Xoshiro256& rng) override;
+
+  // Tree introspection for tests: number of nodes on the root→key path
+  // (the root is depth 1) and the key's parent (itself for the root).
+  [[nodiscard]] std::size_t depth(std::uint32_t key) const;
+  [[nodiscard]] std::uint32_t parent(std::uint32_t key) const {
+    return parent_[key];
+  }
+
+  static constexpr core::TxTypeId kAdd = 0;
+  static constexpr core::TxTypeId kRemove = 1;
+  static constexpr core::TxTypeId kContains = 2;
+
+ private:
+  Config cfg_;
+  std::string name_;
+  // Root→key paths, flattened: path_lines_[path_off_[k] .. path_off_[k+1]).
+  std::vector<std::uint32_t> path_off_;
+  std::vector<std::uint32_t> path_lines_;
+  std::vector<std::uint32_t> parent_;
+  std::unique_ptr<util::Zipf> zipf_;  // null when key_skew == 0
+};
+
+}  // namespace seer::workload

@@ -1,0 +1,119 @@
+// Strict-extraction helpers over the util::json DOM for workload configs.
+//
+// Every helper takes an `origin` — the dotted path of the value being read
+// (e.g. "params.phases[1].spec") — and throws ConfigError naming exactly the
+// bad key, so a typo in a config file surfaces as one actionable line
+// instead of a default silently applied (the failure mode `Value::num(key,
+// fallback)` was designed for, and precisely wrong here).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+#include "workload/generator.hpp"
+
+namespace seer::workload::jsonu {
+
+using util::json::Value;
+
+[[noreturn]] inline void fail(const std::string& origin, const std::string& msg) {
+  throw ConfigError("workload config: " + origin + ": " + msg);
+}
+
+inline std::string sub(const std::string& origin, std::string_view key) {
+  return origin.empty() ? std::string(key) : origin + "." + std::string(key);
+}
+
+inline std::string at(const std::string& origin, std::size_t index) {
+  return origin + "[" + std::to_string(index) + "]";
+}
+
+inline const Value& require(const Value& obj, const char* key,
+                            const std::string& origin) {
+  if (!obj.is_object()) fail(origin, "expected an object");
+  const Value* v = obj.find(key);
+  if (v == nullptr) fail(origin, std::string("missing required key \"") + key + "\"");
+  return *v;
+}
+
+inline double require_num(const Value& obj, const char* key,
+                          const std::string& origin) {
+  const Value& v = require(obj, key, origin);
+  if (!v.is_number()) fail(sub(origin, key), "must be a number");
+  return v.number;
+}
+
+inline std::uint64_t require_u64(const Value& obj, const char* key,
+                                 const std::string& origin) {
+  const Value& v = require(obj, key, origin);
+  if (!v.is_number() || v.number < 0.0) fail(sub(origin, key), "must be a non-negative integer");
+  return v.as_u64();
+}
+
+inline const std::string& require_str(const Value& obj, const char* key,
+                                      const std::string& origin) {
+  const Value& v = require(obj, key, origin);
+  if (!v.is_string()) fail(sub(origin, key), "must be a string");
+  return v.string;
+}
+
+inline const Value& require_array(const Value& obj, const char* key,
+                                  const std::string& origin) {
+  const Value& v = require(obj, key, origin);
+  if (!v.is_array()) fail(sub(origin, key), "must be an array");
+  return v;
+}
+
+inline const Value& require_object(const Value& obj, const char* key,
+                                   const std::string& origin) {
+  const Value& v = require(obj, key, origin);
+  if (!v.is_object()) fail(sub(origin, key), "must be an object");
+  return v;
+}
+
+// Optional scalar reads: absent → fallback, present-but-mistyped → error.
+inline double opt_num(const Value& obj, const char* key, double fallback,
+                      const std::string& origin) {
+  const Value* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) fail(sub(origin, key), "must be a number");
+  return v->number;
+}
+
+inline std::uint64_t opt_u64(const Value& obj, const char* key, std::uint64_t fallback,
+                             const std::string& origin) {
+  const Value* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number() || v->number < 0.0) fail(sub(origin, key), "must be a non-negative integer");
+  return v->as_u64();
+}
+
+inline bool opt_bool(const Value& obj, const char* key, bool fallback,
+                     const std::string& origin) {
+  const Value* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_bool()) fail(sub(origin, key), "must be true or false");
+  return v->boolean;
+}
+
+// Rejects keys outside `allowed` so config typos ("regons") fail loudly.
+inline void reject_unknown(const Value& obj, std::initializer_list<const char*> allowed,
+                           const std::string& origin) {
+  if (!obj.is_object()) fail(origin, "expected an object");
+  for (const auto& [k, v] : obj.object) {
+    (void)v;
+    bool ok = false;
+    for (const char* a : allowed) {
+      if (k == a) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) fail(origin, "unknown key \"" + k + "\"");
+  }
+}
+
+}  // namespace seer::workload::jsonu

@@ -1,0 +1,86 @@
+// Name → generator registry with a JSON config front-end.
+//
+// Every workload the harnesses can run is registered here under a name:
+// the eight compiled-in STAMP stand-ins (thin adapters over
+// stamp::make_workload — the legacy call sites keep working), plus the
+// data-driven generators ("spec", "phased", "bst", "trace-replay"). A
+// `--workload` argument is either a registered NAME or a FILE.json config:
+//
+//   {
+//     "generator": "phased",        // registry name (required)
+//     "name": "cross-shift",        // display name (optional)
+//     "txs_per_thread": 2000,       // bench default (optional)
+//     "params": { ... }             // generator-specific (optional)
+//   }
+//
+// A raw instance-trace file (trace.hpp's format — it has "version" and
+// "threads" instead of "generator") is also accepted and wraps itself in a
+// trace-replay generator. All validation happens at config-parse time:
+// unknown names, missing/mistyped fields, and out-of-range values throw
+// ConfigError naming the bad key, which the CLIs print and exit non-zero.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stamp/workloads.hpp"
+#include "util/json.hpp"
+#include "workload/generator.hpp"
+
+namespace seer::workload {
+
+// A resolved workload: everything a harness needs to build and label runs.
+// `make` may be called many times (one generator per run/cell).
+struct Desc {
+  std::string name;
+  std::uint64_t bench_txs_per_thread = 4000;
+  std::function<std::unique_ptr<Generator>(std::size_t n_threads)> make;
+
+  Desc() = default;
+  Desc(std::string n, std::uint64_t txs,
+       std::function<std::unique_ptr<Generator>(std::size_t)> m)
+      : name(std::move(n)), bench_txs_per_thread(txs), make(std::move(m)) {}
+  // Adapter so bench code that builds ad-hoc stamp::WorkloadInfo values
+  // (e.g. fig4's hashmap) keeps working unchanged.
+  Desc(const stamp::WorkloadInfo& info);  // NOLINT(google-explicit-constructor)
+};
+
+// Builds a Desc from a params object; `display_name` is the config's "name"
+// (or the generator name), `origin` prefixes diagnostics.
+using Factory = std::function<Desc(const util::json::Value& params,
+                                   const std::string& display_name,
+                                   const std::string& origin)>;
+
+class Registry {
+ public:
+  // The process-wide registry, pre-populated with the builtins.
+  [[nodiscard]] static Registry& global();
+
+  void add(std::string name, Factory factory);
+  [[nodiscard]] const Factory* lookup(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;  // registration order
+
+ private:
+  std::vector<std::pair<std::string, Factory>> entries_;
+};
+
+// Resolves a registered NAME with empty params. Throws ConfigError listing
+// the known names for an unknown one.
+[[nodiscard]] Desc find(const std::string& name);
+
+// Parses and validates a config (or raw instance-trace) file / DOM.
+[[nodiscard]] Desc from_config(const std::string& path);
+[[nodiscard]] Desc from_config_json(const util::json::Value& doc,
+                                    const std::string& origin);
+
+// `--workload` semantics: *.json → from_config, anything else → find.
+[[nodiscard]] Desc resolve(const std::string& name_or_path);
+
+// The eight STAMP registry names, in the paper's presentation order — what
+// the bench harness sweeps when no --workload is given.
+[[nodiscard]] const std::vector<std::string>& stamp_names();
+
+}  // namespace seer::workload

@@ -1,0 +1,25 @@
+// JSON → stamp::WorkloadSpec.
+//
+// The declarative geometry the compiled-in STAMP stand-ins are written in
+// (stamp/spec.hpp) becomes expressible as data: regions, transaction types
+// with per-region access counts, and phase mixes. Used by the "spec"
+// generator directly and by "phased" for each of its regimes (registry.hpp
+// documents the enclosing config schema; DESIGN.md §11 shows a full
+// example).
+#pragma once
+
+#include <string>
+
+#include "stamp/spec.hpp"
+#include "util/json.hpp"
+
+namespace seer::workload {
+
+// Parses one spec object. `origin` prefixes every diagnostic (e.g.
+// "params.phases[0].spec"); `default_name` applies when the object carries
+// no "name". Throws ConfigError naming the bad key on any violation.
+[[nodiscard]] stamp::WorkloadSpec spec_from_json(const util::json::Value& obj,
+                                                 const std::string& origin,
+                                                 const std::string& default_name);
+
+}  // namespace seer::workload

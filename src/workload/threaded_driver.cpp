@@ -1,0 +1,86 @@
+#include "workload/threaded_driver.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace seer::workload {
+
+ThreadedRunResult run_threaded(Generator& gen, htm::SoftHtm& tm,
+                               std::span<htm::TmWord> words,
+                               const ThreadedRunOptions& opts) {
+  assert(!words.empty());
+  assert(opts.tx_logs.empty() || opts.tx_logs.size() == opts.n_threads);
+  assert(opts.fault_injectors.empty() ||
+         opts.fault_injectors.size() == opts.n_threads);
+
+  rt::ThreadedExecutor::Options eopts;
+  eopts.n_threads = opts.n_threads;
+  eopts.n_types = gen.n_types();
+  eopts.physical_cores = opts.physical_cores;
+  eopts.metrics = opts.metrics;
+  rt::ThreadedExecutor exec(tm, opts.policy, eopts);
+  if (opts.metrics != nullptr) opts.metrics->freeze();
+
+  std::vector<std::uint64_t> txs(opts.n_threads, 0);
+  std::vector<std::uint64_t> writes(opts.n_threads, 0);
+  std::vector<std::uint8_t> ended_early(opts.n_threads, 0);
+  std::atomic<std::size_t> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(opts.n_threads);
+  for (std::size_t t = 0; t < opts.n_threads; ++t) {
+    threads.emplace_back([&, t] {
+      const auto id = static_cast<core::ThreadId>(t);
+      auto h = exec.make_handle(id);
+      if (!opts.fault_injectors.empty() && opts.fault_injectors[t] != nullptr) {
+        h->set_fault_injector(opts.fault_injectors[t]);
+      }
+      if (!opts.tx_logs.empty() && opts.tx_logs[t] != nullptr) {
+        h->set_tx_log(opts.tx_logs[t]);
+      }
+      gen.init(id);
+      // Start together so few-core hosts still overlap transactions.
+      ready.fetch_add(1);
+      while (ready.load() < opts.n_threads) std::this_thread::yield();
+
+      util::Xoshiro256 rng(opts.seed ^ (0x9e3779b97f4a7c15ULL * (t + 1)));
+      TxInstance inst;
+      for (std::uint64_t i = 0; i < opts.txs_per_thread; ++i) {
+        if (gen.exhausted(id)) {
+          ended_early[t] = 1;
+          break;
+        }
+        // The gap is modelled time; a real sleep would only slow the test.
+        (void)gen.think_time(id, rng);
+        const double progress = static_cast<double>(i) /
+                                static_cast<double>(opts.txs_per_thread);
+        gen.next(id, progress, rng, inst);
+        (void)h->run(inst.type, [&](auto& tx) {
+          for (const std::uint32_t line : inst.reads) {
+            (void)tx.read(words[line % words.size()]);
+          }
+          for (const std::uint32_t line : inst.writes) {
+            htm::TmWord& w = words[line % words.size()];
+            const std::uint64_t v = tx.read(w);
+            tx.write(w, v + 1);
+          }
+        });
+        ++txs[t];
+        writes[t] += inst.writes.size();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  ThreadedRunResult out;
+  for (std::size_t t = 0; t < opts.n_threads; ++t) {
+    out.txs += txs[t];
+    out.total_writes += writes[t];
+    out.exhausted_threads += ended_early[t];
+  }
+  return out;
+}
+
+}  // namespace seer::workload

@@ -1,0 +1,58 @@
+// Runs any registered generator on the real-threads executor.
+//
+// The machine simulator consumes generators natively (sim::Machine takes a
+// Workload); this driver is the ThreadedExecutor-side counterpart. Each
+// thread follows the generator contract — init, think, next — and executes
+// the sampled instance as a real transaction over a TmWord table: every
+// read line is tx.read, every write line a read-modify-write increment.
+// Line ids map onto the caller's word table modulo its size, so the
+// generator's conflict geometry (which lines collide) becomes genuine
+// memory conflicts under SoftHtm, at whatever table scale the embedder
+// picks.
+//
+// The increment bodies make runs checkable: the returned totals satisfy
+// sum(words) - sum(initial words) == total_writes, and with per-thread
+// TxLogs installed the offline opacity verifier applies unchanged (the
+// property-test sweep drives exactly this).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "htm/soft_htm.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/threaded_executor.hpp"
+#include "workload/generator.hpp"
+
+namespace seer::workload {
+
+struct ThreadedRunOptions {
+  std::size_t n_threads = 2;
+  std::size_t physical_cores = 2;
+  // Per-thread transaction cap; a generator's end-of-stream can end a
+  // thread earlier.
+  std::uint64_t txs_per_thread = 500;
+  std::uint64_t seed = 1;
+  rt::PolicyConfig policy{};
+
+  // Optional hooks, each either empty or sized n_threads (indexed by
+  // ThreadId). Raw pointers may be null.
+  std::vector<htm::TxLog*> tx_logs;
+  std::vector<htm::FaultInjector*> fault_injectors;
+  obs::MetricsRegistry* metrics = nullptr;  // frozen by the driver before spawn
+};
+
+struct ThreadedRunResult {
+  std::uint64_t txs = 0;           // committed transactions (all threads)
+  std::uint64_t total_writes = 0;  // increments applied by committed bodies
+  std::uint64_t exhausted_threads = 0;  // threads ended by end-of-stream
+};
+
+// Executes `gen` over `words` (caller-owned so opacity snapshots can be
+// taken against the same addresses). Blocks until every thread finishes.
+[[nodiscard]] ThreadedRunResult run_threaded(Generator& gen, htm::SoftHtm& tm,
+                                             std::span<htm::TmWord> words,
+                                             const ThreadedRunOptions& opts);
+
+}  // namespace seer::workload

@@ -98,7 +98,7 @@ class IdleWorkload final : public sim::Workload {
     out.type = 0;
     out.duration = 100;
   }
-  std::uint64_t think_time(util::Xoshiro256&) override { return 10; }
+  std::uint64_t think_time(core::ThreadId, util::Xoshiro256&) override { return 10; }
 
  private:
   std::string name_ = "idle";

@@ -21,9 +21,14 @@
 #include "check/fault_plan.hpp"
 #include "check/opacity.hpp"
 #include "htm/soft_htm.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/threaded_executor.hpp"
+#include "sim/machine.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
+#include "workload/phased.hpp"
+#include "workload/threaded_driver.hpp"
 
 namespace seer::check {
 namespace {
@@ -234,6 +239,206 @@ TEST(PropertyHarness, RandomWorkloadsStayOpaqueAcrossTierTransitions) {
   (void)promoted_somewhere;  // counters are stubs under SEER_OBS=OFF
 #endif
 }
+
+// ------------------------------------------------ phased regime shifts ----
+
+// A randomly shaped two-regime phased workload, built through the JSON
+// config path so the sweep also exercises spec_from_json/PhasedWorkload
+// validation on every seed. Both regimes write a small hot region; the
+// shift moves which types carry the write traffic.
+std::unique_ptr<workload::PhasedWorkload> phased_for(std::uint64_t seed,
+                                                     util::Xoshiro256& rng,
+                                                     std::size_t n_threads) {
+  const std::uint64_t hot_lines = 2 + rng.below(6);
+  const std::uint64_t cold_lines = 32 + rng.below(64);
+  const std::uint64_t dur_a = 100 + rng.below(300);
+  const std::uint64_t dur_b = 100 + rng.below(300);
+  const double shift = 0.3 + 0.4 * rng.uniform01();
+  char shift_buf[32];
+  std::snprintf(shift_buf, sizeof shift_buf, "%.3f", shift);
+
+  const auto spec = [&](const char* w1_region, const char* w2_region,
+                        std::uint64_t dur) {
+    return std::string(R"({
+      "regions": [{"name": "hot", "lines": )") +
+           std::to_string(hot_lines) + R"(}, {"name": "cold", "lines": )" +
+           std::to_string(cold_lines) + R"(}],
+      "types": [
+        {"name": "w1", "duration_mean": )" +
+           std::to_string(dur) + R"(, "accesses": [{"region": ")" + w1_region +
+           R"(", "reads": 1, "writes": 2}]},
+        {"name": "w2", "duration_mean": )" +
+           std::to_string(dur) + R"(, "accesses": [{"region": ")" + w2_region +
+           R"(", "reads": 1, "writes": 2}]}
+      ]})";
+  };
+  // Regime A: w1 hammers the hot region while w2 stays cold; regime B swaps
+  // the roles — the pairwise conflict structure flips at the boundary.
+  const std::string params = std::string(R"({"think_mean": 50, "phases": [)") +
+                             R"({"until": )" + shift_buf + R"(, "spec": )" +
+                             spec("hot", "cold", dur_a) + "}, " +
+                             R"({"until": 1.0, "spec": )" +
+                             spec("cold", "hot", dur_b) + "}]}";
+  std::string err;
+  const auto doc = util::json::parse(params, &err);
+  EXPECT_TRUE(doc.has_value()) << err;
+  return workload::PhasedWorkload::from_json(
+      *doc, "seed " + std::to_string(seed), "phased-prop", n_threads);
+}
+
+// Opacity and exact counts must hold ACROSS contention-regime shifts: the
+// scheduler re-learns mid-run, but correctness never depends on what the
+// model believes.
+TEST(PropertyHarness, PhasedRegimeShiftsStayOpaqueWithExactCounts) {
+  const std::uint64_t master = env_u64("SEER_PROPERTY_SEED", 0);
+  const std::uint64_t iters = master != 0 ? 1 : env_u64("SEER_PROPERTY_ITERS", 25);
+  std::uint64_t injected_somewhere = 0;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::uint64_t seed = master != 0 ? master : 0x5EED5000u + i;
+    util::Xoshiro256 rng(seed);
+    workload::ThreadedRunOptions opts;
+    opts.n_threads = 2 + rng.below(3);
+    opts.physical_cores = 2;
+    opts.txs_per_thread = 100 + rng.below(150);
+    opts.seed = seed;
+    opts.policy.kind =
+        rng.bernoulli(0.5) ? rt::PolicyKind::kSeer : rt::PolicyKind::kRtm;
+    if (opts.policy.kind == rt::PolicyKind::kSeer) {
+      opts.policy.seer.update_period = 64;
+      opts.policy.seer.physical_cores = 2;
+    }
+    const auto gen = phased_for(seed, rng, opts.n_threads);
+
+    htm::SoftHtm tm;
+    std::vector<htm::TmWord> words(16 + rng.below(48));
+    MemorySnapshot initial;
+    snapshot_words(initial, words.data(), words.size());
+    std::vector<htm::TxLog> logs(opts.n_threads);
+    std::vector<FaultPlan> plans;
+    plans.reserve(opts.n_threads);
+    for (std::size_t t = 0; t < opts.n_threads; ++t) {
+      FaultPlanConfig fcfg;
+      fcfg.p_conflict = rng.uniform01() * 0.05;
+      fcfg.p_capacity = rng.uniform01() * 0.03;
+      fcfg.p_other = rng.uniform01() * 0.02;
+      fcfg.seed = seed + t;
+      plans.emplace_back(fcfg);
+    }
+    for (auto& l : logs) opts.tx_logs.push_back(&l);
+    for (auto& p : plans) opts.fault_injectors.push_back(&p);
+
+    const workload::ThreadedRunResult res =
+        workload::run_threaded(*gen, tm, words, opts);
+    EXPECT_EQ(res.exhausted_threads, 0u) << "phased generators never exhaust";
+    EXPECT_EQ(res.txs, opts.n_threads * opts.txs_per_thread);
+
+    std::vector<const htm::TxLog*> log_ptrs;
+    for (const auto& l : logs) log_ptrs.push_back(&l);
+    const OpacityReport report = verify_opacity(log_ptrs, initial);
+    if (!report.ok()) {
+      FAIL() << "opacity violation across a regime shift at seed " << seed
+             << ": " << to_string(report.violations.front()) << "\n"
+             << replay_hint(seed);
+    }
+    std::uint64_t total = 0;
+    for (const auto& w : words) total += w.load();
+    ASSERT_EQ(total, res.total_writes)
+        << "lost/phantom update across a regime shift at seed " << seed << "\n"
+        << replay_hint(seed);
+    for (const auto& p : plans) injected_somewhere += p.total_injected();
+  }
+  if (iters > 1) {
+    EXPECT_GT(injected_somewhere, 0u)
+        << "the fault plans never fired — the sweep is not exercising aborts";
+  }
+}
+
+#if SEER_OBS_ENABLED
+// After the shift, the scheduler's learned pair probabilities must move
+// toward the NEW ground truth: a deterministic simulator run whose conflict
+// mass flips from pair (a,b) to pair (b,c) at progress 0.5, snapshotted at
+// every rebuild. Early snapshots must attribute abort mass to the old hot
+// pair, and the post-shift snapshot *delta* to the new one.
+TEST(PropertyHarness, PhasedSnapshotsTrackTheNewConflictMatrix) {
+  const std::string params = R"({
+    "think_mean": 40,
+    "phases": [
+      {"until": 0.5, "spec": {
+        "regions": [{"name": "hot", "lines": 4}, {"name": "cold", "lines": 512}],
+        "types": [
+          {"name": "a", "duration_mean": 500,
+           "accesses": [{"region": "hot", "reads": 1, "writes": 2}]},
+          {"name": "b", "duration_mean": 500,
+           "accesses": [{"region": "hot", "reads": 1, "writes": 2}]},
+          {"name": "c", "duration_mean": 500,
+           "accesses": [{"region": "cold", "reads": 4}]}
+        ]}},
+      {"until": 1.0, "spec": {
+        "regions": [{"name": "hot", "lines": 4}, {"name": "cold", "lines": 512}],
+        "types": [
+          {"name": "a", "duration_mean": 500,
+           "accesses": [{"region": "cold", "reads": 4}]},
+          {"name": "b", "duration_mean": 500,
+           "accesses": [{"region": "hot", "reads": 1, "writes": 2}]},
+          {"name": "c", "duration_mean": 500,
+           "accesses": [{"region": "hot", "reads": 1, "writes": 2}]}
+        ]}}
+    ]})";
+  std::string err;
+  const auto doc = util::json::parse(params, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+
+  sim::MachineConfig cfg;
+  cfg.n_threads = 4;
+  cfg.txs_per_thread = 1500;
+  cfg.seed = 7;
+  cfg.policy.kind = rt::PolicyKind::kSeer;
+  cfg.policy.seer.update_period = 64;
+  obs::FlightRecorderConfig rcfg;
+  rcfg.capacity = 4096;  // retain every rebuild — the test reads the timeline
+  rcfg.period = 1;
+  obs::FlightRecorder recorder(rcfg);
+  cfg.recorder = &recorder;
+  sim::Machine machine(cfg, workload::PhasedWorkload::from_json(
+                                *doc, "<phased>", "shift", cfg.n_threads));
+  const sim::MachineStats stats = machine.run();
+  ASSERT_GT(stats.commits, 0u);
+  ASSERT_EQ(recorder.dropped(), 0u);
+
+  const auto snaps = recorder.snapshots();
+  ASSERT_GT(snaps.size(), 4u) << "too few rebuild snapshots to read a timeline";
+  const obs::ModelSnapshot& last = *snaps.back();
+  ASSERT_EQ(last.n_types, 3u);
+
+  // Cross-pair abort mass (x aborted with y, both directions).
+  const auto cross = [](const obs::ModelSnapshot& s, core::TxTypeId x,
+                        core::TxTypeId y) {
+    return s.abort(x, y) + s.abort(y, x);
+  };
+  // Latest all-regime-A snapshot and latest safely-post-shift baseline, by
+  // commit fraction (the shift lands at roughly half of the commits).
+  const obs::ModelSnapshot* early = nullptr;
+  const obs::ModelSnapshot* post_base = nullptr;
+  for (const obs::ModelSnapshot* s : snaps) {
+    if (s->commits * 10 <= last.commits * 4) early = s;
+    if (s->commits * 10 <= last.commits * 6) post_base = s;
+  }
+  ASSERT_NE(early, nullptr) << "no snapshot captured before the shift";
+  ASSERT_NE(post_base, nullptr);
+
+  // Pre-shift: the (a,b) pair owns the conflict mass; (b,c) has none — c
+  // only reads a region nobody writes.
+  EXPECT_GT(cross(*early, 0, 1), cross(*early, 1, 2))
+      << "pre-shift snapshots do not reflect regime A's ground truth";
+  // Post-shift delta: new conflicts accrue on (b,c), not on the retired
+  // (a,b) pair.
+  const std::uint64_t d_old = cross(last, 0, 1) - cross(*post_base, 0, 1);
+  const std::uint64_t d_new = cross(last, 1, 2) - cross(*post_base, 1, 2);
+  EXPECT_GT(d_new, d_old)
+      << "post-shift snapshots are not moving toward the new conflict matrix "
+      << "(old-pair delta " << d_old << ", new-pair delta " << d_new << ")";
+}
+#endif  // SEER_OBS_ENABLED
 
 // Acceptance gate: a TM that skips commit-time read-set validation must be
 // caught by the checker well within 100 seeds. The workload reads one word

@@ -207,7 +207,9 @@ class SyntheticWorkload final : public Workload {
     }
   }
 
-  std::uint64_t think_time(util::Xoshiro256&) override { return p_.think; }
+  std::uint64_t think_time(core::ThreadId, util::Xoshiro256&) override {
+    return p_.think;
+  }
 
  private:
   Params p_;

@@ -102,7 +102,7 @@ TEST_P(SpecSanity, ThinkTimesArePositiveAndBounded) {
   double sum = 0.0;
   constexpr int kN = 5000;
   for (int i = 0; i < kN; ++i) {
-    const std::uint64_t t = wl->think_time(rng);
+    const std::uint64_t t = wl->think_time(0, rng);
     EXPECT_LT(t, 1000000u);
     sum += static_cast<double>(t);
   }

@@ -19,6 +19,13 @@
 // and, with --trace, the sink's drop accounting (a truncated trace is a
 // suffix of reality and deserves a loud warning).
 //
+// A second, unrelated mode rides along because this is the one always-built
+// CLI that links the workload registry: --validate-workload FILE.json checks
+// a generator config (DESIGN.md §11) without running anything — exit 0 with
+// a one-line summary when it resolves, exit 2 with the registry's diagnostic
+// (naming the offending key) when it does not. CI and the config negative
+// tests call this instead of paying for a bench run.
+//
 // Exit codes: 0 analysis ran, 2 usage/parse error. Runs whose flight dump is
 // empty (SEER_OBS=OFF builds) are reported as such, not treated as errors.
 #include <algorithm>
@@ -31,6 +38,7 @@
 #include <vector>
 
 #include "util/json.hpp"
+#include "workload/registry.hpp"
 
 namespace {
 
@@ -50,13 +58,16 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s SNAPSHOTS.json [--metrics PATH] [--trace PATH]\n"
                "          [--pairs N] [--gt-threshold F] [--stable-eps F]\n"
+               "       %s --validate-workload CONFIG.json\n"
                "\n"
                "Analyzes the model-introspection dump a bench binary wrote with\n"
                "--snapshots: per-pair abort attribution, lock-scheme quality vs\n"
                "the simulator's conflict ground truth, and hill-climber\n"
                "convergence. --metrics/--trace add counter headlines and trace\n"
-               "drop accounting from the same run.\n",
-               argv0);
+               "drop accounting from the same run.\n"
+               "--validate-workload checks a generator config against the\n"
+               "registry (exit 0 valid, exit 2 with the offending key named).\n",
+               argv0, argv0);
 }
 
 CliOptions parse_cli(int argc, char** argv) {
@@ -70,7 +81,22 @@ CliOptions parse_cli(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--metrics") {
+    if (arg == "--validate-workload") {
+      // Terminal mode: resolve the config and report, nothing else runs.
+      const std::string path = next();
+      try {
+        const seer::workload::Desc desc = seer::workload::from_config(path);
+        const auto wl = desc.make(2);
+        std::printf("OK: %s — generator \"%s\", %zu tx types, "
+                    "%llu txs/thread at full scale\n",
+                    path.c_str(), desc.name.c_str(), wl->n_types(),
+                    static_cast<unsigned long long>(desc.bench_txs_per_thread));
+        std::exit(0);
+      } catch (const seer::workload::ConfigError& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(2);
+      }
+    } else if (arg == "--metrics") {
       o.metrics_path = next();
     } else if (arg == "--trace") {
       o.trace_path = next();
