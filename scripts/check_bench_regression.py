@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Gate bench-smoke throughput against the checked-in baseline.
 
-Two input schemas are auto-detected per file:
+Three input schemas are auto-detected per file:
 
   * Exhibit JSON (the bench runner's --json): one record per (workload,
     policy, threads, seed); the gated metric is `commits_per_mcycle` —
@@ -14,6 +14,16 @@ Two input schemas are auto-detected per file:
     iteration entries are (keyed by name). Wall-clock throughput IS
     machine-dependent, so gate these against their own baseline
     (bench/baseline_htm.json) with a noise-sized tolerance, not the default.
+  * Serve summary JSON (process_serve_logs.py output, marked by a
+    "serve_summary" key): one record pair per rate step — `p99_ns` and
+    `rejected_fraction`, keyed
+    `serve|workload|policy|mode|rate{R}|{metric}`. These are LOWER-IS-BETTER
+    latency/shedding metrics, so the gate inverts: a record fails when it
+    rises more than the tolerance above baseline (rejected_fraction with an
+    absolute floor of 0.005, so a zero baseline still tolerates stray
+    sheds). Gate the deterministic-mode summary (bench/baseline_serve.json)
+    — it is machine-independent; real-mode numbers are whatever the runner
+    was doing that day.
 
 Usage:
   check_bench_regression.py [--baseline PATH] [--tolerance 0.10]
@@ -46,6 +56,15 @@ DEFAULT_BASELINE = os.path.join(
 KEY_FIELDS = ("workload", "policy", "threads", "seed")
 METRIC = "commits_per_mcycle"
 GBENCH_METRIC = "items_per_second"
+# serve| records gate lower-is-better metrics; absolute slack added on top of
+# the fractional tolerance, per final key segment (a 0.0 baseline fraction
+# must still tolerate a handful of shed requests).
+SERVE_METRICS = ("p99_ns", "rejected_fraction")
+SERVE_ABS_FLOOR = {"rejected_fraction": 0.005}
+
+
+def is_lower_better(key):
+    return key.startswith("serve|")
 
 
 def add_record(records, key, value, where):
@@ -95,11 +114,31 @@ def load_gbench(path, doc, records):
         if not name or GBENCH_METRIC not in b:
             print(f"error: {path} benchmarks[{i}] lacks "
                   f"{'a name' if not name else GBENCH_METRIC} "
-                  f"(pass --benchmark_counters_tabular-free output with "
-                  f"SetItemsProcessed benchmarks)", file=sys.stderr)
+                  "(pass --benchmark_counters_tabular-free output with "
+                  "SetItemsProcessed benchmarks)", file=sys.stderr)
             sys.exit(2)
         add_record(records, f"{exhibit}|{name}", b[GBENCH_METRIC],
                    f"{path} benchmarks[{i}]")
+
+
+def load_serve(path, doc, records):
+    """process_serve_logs.py summary: 'serve|workload|policy|mode|rateR|m'."""
+    prefix = "|".join(str(doc.get(k, "?"))
+                      for k in ("workload", "policy", "mode"))
+    steps = doc.get("steps", [])
+    if not steps:
+        print(f"error: {path}: serve summary has no steps", file=sys.stderr)
+        sys.exit(2)
+    for i, s in enumerate(steps):
+        missing = [k for k in ("offered_rate",) + SERVE_METRICS if k not in s]
+        if missing:
+            print(f"error: {path} steps[{i}] lacks {missing}",
+                  file=sys.stderr)
+            sys.exit(2)
+        rate = s["offered_rate"]
+        for m in SERVE_METRICS:
+            add_record(records, f"serve|{prefix}|rate{rate:g}|{m}", s[m],
+                       f"{path} steps[{i}]")
 
 
 def load_records(paths):
@@ -117,7 +156,10 @@ def load_records(paths):
         except (OSError, json.JSONDecodeError) as e:
             print(f"error: cannot read {path}: {e}", file=sys.stderr)
             sys.exit(2)
-        if "benchmarks" in doc:
+        if "serve_summary" in doc:
+            load_serve(path, doc, records)
+            metrics.add("serve_latency")
+        elif "benchmarks" in doc:
             load_gbench(path, doc, records)
             metrics.add(GBENCH_METRIC)
         else:
@@ -171,7 +213,11 @@ def main():
         if key not in current:
             continue
         cur = current[key]
-        if base > 0 and cur < base * (1.0 - args.tolerance):
+        if is_lower_better(key):
+            floor = SERVE_ABS_FLOOR.get(key.rsplit("|", 1)[-1], 0.0)
+            if cur > base * (1.0 + args.tolerance) + floor:
+                regressions.append((key, base, cur))
+        elif base > 0 and cur < base * (1.0 - args.tolerance):
             regressions.append((key, base, cur))
 
     checked = sum(1 for k in current if k in baseline)
@@ -201,8 +247,12 @@ def main():
                 print(f"  ... and {len(keys) - 10} more")
 
     for key, base, cur in regressions:
-        drop = 1.0 - cur / base
-        print(f"REGRESSION {key}: {base:.3f} -> {cur:.3f} (-{drop:.1%})")
+        if is_lower_better(key):
+            rise = cur / base - 1.0 if base > 0 else float("inf")
+            print(f"REGRESSION {key}: {base:.3f} -> {cur:.3f} (+{rise:.1%})")
+        else:
+            drop = 1.0 - cur / base
+            print(f"REGRESSION {key}: {base:.3f} -> {cur:.3f} (-{drop:.1%})")
     if regressions:
         print(f"{len(regressions)} regression(s) beyond {args.tolerance:.0%}")
     if regressions or failed:

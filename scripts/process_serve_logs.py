@@ -1,0 +1,295 @@
+#!/usr/bin/env python3
+"""Process a seer-serve JSONL run into summaries and graphs.
+
+Input is the stream tools/seer_serve writes: one `serve_header` line, periodic
+`interval` lines (traffic and queue-depth deltas plus bucket-estimate
+latencies), one `step` line per swept rate (exact nearest-rank quantiles),
+and a closing `summary` line naming the saturation knee.
+
+Outputs, written to --out-dir:
+
+  serve_summary.json   per-step latency/throughput record set, marked with
+                       "serve_summary": 1 — the schema
+                       scripts/check_bench_regression.py gates against
+                       bench/baseline_serve.json
+  timeseries.csv       the interval lines as CSV, for ad-hoc plotting
+  serve_graph.svg      hand-rolled SVG (no plotting deps): offered vs
+                       completed rate and queue depth over time, latency
+                       estimates over time, and — for sweeps — the
+                       tail-latency-vs-offered-load curve
+
+With --check the stream is only validated (exit 0/2), nothing is written.
+
+Exit codes: 0 ok, 2 malformed stream or usage error.
+"""
+
+import argparse
+import csv
+import json
+import os
+import sys
+
+HEADER_REQUIRED = ("workload", "policy", "mode", "process", "workers",
+                   "rates", "duration_s", "seed")
+STEP_REQUIRED = ("step", "offered_rate", "duration_s", "arrivals", "accepted",
+                 "rejected", "rejected_fraction", "completed",
+                 "throughput_rps", "latency_ns", "queue_depth_peak",
+                 "sgl_fraction")
+LATENCY_REQUIRED = ("count", "mean", "p50", "p90", "p99", "p999", "max")
+INTERVAL_REQUIRED = ("step", "t_s", "offered_rate", "arrivals", "accepted",
+                     "rejected", "completed", "queue_depth", "p50_est_us",
+                     "p99_est_us")
+SUMMARY_REQUIRED = ("steps", "knee_rate", "saturated", "worst_p99_ns",
+                    "arrivals", "rejected", "completed")
+
+
+def fail(msg):
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def require(rec, fields, where):
+    missing = [f for f in fields if f not in rec]
+    if missing:
+        fail(f"{where}: missing {missing}")
+
+
+def parse_stream(path):
+    """Returns (header, intervals, steps, summary), validated."""
+    header, intervals, steps, summary = None, [], [], None
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    for n, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        where = f"{path}:{n}"
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{where}: not JSON: {e}")
+        kind = rec.get("kind")
+        if kind == "serve_header":
+            if header is not None:
+                fail(f"{where}: second serve_header")
+            require(rec, HEADER_REQUIRED, where)
+            header = rec
+        elif kind == "interval":
+            require(rec, INTERVAL_REQUIRED, where)
+            intervals.append(rec)
+        elif kind == "step":
+            require(rec, STEP_REQUIRED, where)
+            require(rec["latency_ns"], LATENCY_REQUIRED,
+                    f"{where} latency_ns")
+            steps.append(rec)
+        elif kind == "summary":
+            if summary is not None:
+                fail(f"{where}: second summary")
+            require(rec, SUMMARY_REQUIRED, where)
+            summary = rec
+        else:
+            fail(f"{where}: unknown kind {kind!r}")
+        if header is None:
+            fail(f"{where}: first line must be the serve_header")
+    if header is None:
+        fail(f"{path}: empty stream")
+    if not steps:
+        fail(f"{path}: no step lines")
+    if summary is None:
+        fail(f"{path}: no summary line")
+    if summary["steps"] != len(steps):
+        fail(f"{path}: summary says {summary['steps']} steps, "
+             f"stream has {len(steps)}")
+    for s in steps:
+        if s["accepted"] + s["rejected"] != s["arrivals"]:
+            fail(f"{path}: step {s['step']}: accepted + rejected != arrivals")
+    return header, intervals, steps, summary
+
+
+def build_summary(path, header, steps, summary):
+    recs = []
+    for s in steps:
+        lat = s["latency_ns"]
+        recs.append({
+            "offered_rate": s["offered_rate"],
+            "throughput_rps": s["throughput_rps"],
+            "rejected_fraction": s["rejected_fraction"],
+            "completed": s["completed"],
+            "mean_ns": lat["mean"],
+            "p50_ns": lat["p50"],
+            "p90_ns": lat["p90"],
+            "p99_ns": lat["p99"],
+            "p999_ns": lat["p999"],
+            "max_ns": lat["max"],
+            "queue_depth_peak": s["queue_depth_peak"],
+            "sgl_fraction": s["sgl_fraction"],
+        })
+    return {
+        "serve_summary": 1,
+        "source": os.path.basename(path),
+        "workload": header["workload"],
+        "policy": header["policy"],
+        "mode": header["mode"],
+        "process": header["process"],
+        "workers": header["workers"],
+        "duration_s": header["duration_s"],
+        "seed": header["seed"],
+        "knee_rate": summary["knee_rate"],
+        "saturated": summary["saturated"],
+        "worst_p99_ns": summary["worst_p99_ns"],
+        "steps": recs,
+    }
+
+
+# --- SVG (no plotting dependencies on CI runners) ---------------------------
+
+W, H, PAD = 760, 220, 48
+COLORS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e")
+
+
+def polyline(points, color, width=1.5):
+    pts = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+    return (f'<polyline fill="none" stroke="{color}" '
+            f'stroke-width="{width}" points="{pts}"/>')
+
+
+def text(x, y, s, size=11, color="#333", anchor="start"):
+    return (f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'fill="{color}" text-anchor="{anchor}" '
+            f'font-family="sans-serif">{s}</text>')
+
+
+def panel(y0, title, series, xlabel, ylabel, logy=False):
+    """One chart panel: series is [(label, [(x, y)...]), ...]."""
+    import math
+    out = [text(PAD, y0 + 14, title, size=12)]
+    xs = [p[0] for _, pts in series for p in pts]
+    ys = [p[1] for _, pts in series for p in pts]
+    if not xs:
+        return out
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    if logy:
+        floor = min((y for y in ys if y > 0), default=1.0)
+        ymin = math.log10(max(floor, 1e-3))
+        ymax = math.log10(max(ymax, 10 ** ymin * 10))
+    if xmax <= xmin:
+        xmax = xmin + 1
+    if ymax <= ymin:
+        ymax = ymin + 1
+    px0, px1 = PAD, W - PAD
+    py0, py1 = y0 + H - 28, y0 + 26
+
+    def sx(x):
+        return px0 + (x - xmin) / (xmax - xmin) * (px1 - px0)
+
+    def sy(y):
+        if logy:
+            y = math.log10(y) if y > 0 else ymin
+        return py0 - (y - ymin) / (ymax - ymin) * (py0 - py1)
+
+    out.append(f'<rect x="{px0}" y="{py1}" width="{px1 - px0}" '
+               f'height="{py0 - py1}" fill="none" stroke="#bbb"/>')
+    for i, (label, pts) in enumerate(series):
+        color = COLORS[i % len(COLORS)]
+        out.append(polyline([(sx(x), sy(y)) for x, y in pts], color))
+        out.append(text(px1 - 4, py1 + 14 + 13 * i, label, color=color,
+                        anchor="end"))
+    fmt = (lambda v: f"1e{v:.0f}") if logy else (lambda v: f"{v:g}")
+    out.append(text(px0 - 4, py0 + 4, fmt(ymin), size=10, anchor="end"))
+    out.append(text(px0 - 4, py1 + 4, fmt(ymax), size=10, anchor="end"))
+    out.append(text(px0, py0 + 16, f"{xmin:g}", size=10))
+    out.append(text(px1, py0 + 16, f"{xmax:g}", size=10, anchor="end"))
+    out.append(text((px0 + px1) / 2, py0 + 16, xlabel, size=10,
+                    anchor="middle"))
+    out.append(text(px0 + 4, py1 + 14, ylabel, size=10))
+    return out
+
+
+def build_svg(header, intervals, steps):
+    panels = []
+    secs = [i["t_s"] for i in intervals]
+    if intervals:
+        em = max(1e-9, (secs[1] - secs[0]) if len(secs) > 1
+                 else header.get("duration_s", 1))
+        panels.append((
+            "traffic over time "
+            f"({header['workload']}, {header['policy']}, {header['mode']})",
+            [("offered/s", [(i["t_s"], i["offered_rate"])
+                            for i in intervals]),
+             ("completed/s", [(i["t_s"], i["completed"] / em)
+                              for i in intervals]),
+             ("queue depth", [(i["t_s"], i["queue_depth"])
+                              for i in intervals])],
+            "t (s)", "rate / depth", False))
+        panels.append((
+            "latency estimate over time",
+            [("p99 est (us)", [(i["t_s"], max(i["p99_est_us"], 1e-3))
+                               for i in intervals]),
+             ("p50 est (us)", [(i["t_s"], max(i["p50_est_us"], 1e-3))
+                               for i in intervals])],
+            "t (s)", "latency (us, log)", True))
+    if len(steps) > 1:
+        panels.append((
+            "tail latency vs offered load",
+            [(q, [(s["offered_rate"],
+                   max(s["latency_ns"][q] / 1e6, 1e-3)) for s in steps])
+             for q in ("p50", "p99", "p999")],
+            "offered rate (req/s)", "latency (ms, log)", True))
+    total_h = len(panels) * H + 10
+    parts = [f'<svg xmlns="http://www.w3.org/2000/svg" width="{W}" '
+             f'height="{total_h}" viewBox="0 0 {W} {total_h}">',
+             f'<rect width="{W}" height="{total_h}" fill="white"/>']
+    for i, (title, series, xl, yl, logy) in enumerate(panels):
+        parts.extend(panel(i * H + 6, title, series, xl, yl, logy))
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("jsonl", help="seer-serve JSONL output")
+    ap.add_argument("-o", "--out-dir",
+                    help="directory for summary/CSV/SVG artifacts")
+    ap.add_argument("--check", action="store_true",
+                    help="validate the stream only, write nothing")
+    args = ap.parse_args()
+
+    header, intervals, steps, summary = parse_stream(args.jsonl)
+    knee = (f"knee at {summary['knee_rate']:g} req/s"
+            if summary["saturated"] else "no saturation")
+    print(f"{args.jsonl}: {header['workload']} / {header['policy']} "
+          f"({header['mode']}): {len(steps)} step(s), "
+          f"{len(intervals)} interval(s), {knee}")
+    if args.check:
+        return 0
+    if not args.out_dir:
+        fail("--out-dir is required unless --check")
+    os.makedirs(args.out_dir, exist_ok=True)
+
+    summary_path = os.path.join(args.out_dir, "serve_summary.json")
+    with open(summary_path, "w", encoding="utf-8") as f:
+        json.dump(build_summary(args.jsonl, header, steps, summary), f,
+                  indent=2)
+        f.write("\n")
+
+    csv_path = os.path.join(args.out_dir, "timeseries.csv")
+    with open(csv_path, "w", encoding="utf-8", newline="") as f:
+        w = csv.DictWriter(f, fieldnames=list(INTERVAL_REQUIRED),
+                           extrasaction="ignore")
+        w.writeheader()
+        for rec in intervals:
+            w.writerow({k: rec.get(k) for k in INTERVAL_REQUIRED})
+
+    svg_path = os.path.join(args.out_dir, "serve_graph.svg")
+    with open(svg_path, "w", encoding="utf-8") as f:
+        f.write(build_svg(header, intervals, steps))
+
+    print(f"wrote {summary_path}, {csv_path}, {svg_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,24 @@ def gbench_run(name, ips, **extra):
     return entry
 
 
+def serve_doc(steps, workload="serve-smoke", policy="RTM",
+              mode="deterministic"):
+    """steps: list of (offered_rate, p99_ns, rejected_fraction) tuples."""
+    return {
+        "serve_summary": 1,
+        "workload": workload, "policy": policy, "mode": mode,
+        "process": "poisson", "workers": 2, "duration_s": 3.0, "seed": 1,
+        "knee_rate": 0, "saturated": False, "worst_p99_ns": 0,
+        "steps": [
+            {"offered_rate": r, "throughput_rps": r, "rejected_fraction": rf,
+             "completed": 100, "mean_ns": p99 / 2, "p50_ns": p99 // 4,
+             "p90_ns": p99 // 2, "p99_ns": p99, "p999_ns": p99 * 2,
+             "max_ns": p99 * 3, "queue_depth_peak": 4, "sgl_fraction": 0.0}
+            for (r, p99, rf) in steps
+        ],
+    }
+
+
 def gbench_median(run_name, ips):
     """A median aggregate entry, as --benchmark_repetitions emits."""
     return gbench_run(f"{run_name}_median", ips, run_name=run_name,
@@ -227,6 +245,74 @@ class CheckBenchRegressionTest(unittest.TestCase):
         self.assertEqual(code, 2, out)
         self.assertIn("items_per_second", out)
         self.assertNotIn("Traceback", out)
+
+    # ---- serve summary JSON (seer-serve latency gate) --------------------
+
+    def test_serve_roundtrip_passes(self):
+        smoke = self.write("serve.json", serve_doc(
+            [(2000, 500_000, 0.0), (4000, 2_000_000, 0.01)]))
+        baseline = self.make_baseline(smoke, "baseline_serve.json")
+        code, out = self.run_check("--baseline", baseline, smoke)
+        self.assertEqual(code, 0, out)
+        self.assertIn("ok: no regressions", out)
+        self.assertIn("checked 4 records", out)  # p99 + rejected per step
+
+    def test_serve_p99_increase_is_a_regression(self):
+        base = self.write("base.json", serve_doc([(2000, 500_000, 0.0)]))
+        baseline = self.make_baseline(base, "baseline_serve.json")
+        slow = self.write("slow.json", serve_doc([(2000, 700_000, 0.0)]))
+        code, out = self.run_check("--baseline", baseline, slow)
+        self.assertEqual(code, 1, out)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("rate2000|p99_ns", out)
+        self.assertIn("+", out)  # reported as a rise, not a drop
+
+    def test_serve_p99_decrease_passes(self):
+        # Lower latency must never trip the (inverted) gate.
+        base = self.write("base.json", serve_doc([(2000, 500_000, 0.0)]))
+        baseline = self.make_baseline(base, "baseline_serve.json")
+        fast = self.write("fast.json", serve_doc([(2000, 100_000, 0.0)]))
+        code, out = self.run_check("--baseline", baseline, fast)
+        self.assertEqual(code, 0, out)
+
+    def test_serve_rejected_fraction_floor_tolerates_stray_sheds(self):
+        # Baseline sheds nothing; 0.4% shed stays under the 0.005 absolute
+        # floor, 5% does not.
+        base = self.write("base.json", serve_doc([(2000, 500_000, 0.0)]))
+        baseline = self.make_baseline(base, "baseline_serve.json")
+        few = self.write("few.json", serve_doc([(2000, 500_000, 0.004)]))
+        code, out = self.run_check("--baseline", baseline, few)
+        self.assertEqual(code, 0, out)
+        many = self.write("many.json", serve_doc([(2000, 500_000, 0.05)]))
+        code, out = self.run_check("--baseline", baseline, many)
+        self.assertEqual(code, 1, out)
+        self.assertIn("rejected_fraction", out)
+
+    def test_serve_missing_rate_step_fails_clearly(self):
+        base = self.write("base.json", serve_doc(
+            [(2000, 500_000, 0.0), (4000, 2_000_000, 0.0)]))
+        baseline = self.make_baseline(base, "baseline_serve.json")
+        partial = self.write("partial.json",
+                             serve_doc([(2000, 500_000, 0.0)]))
+        code, out = self.run_check("--baseline", baseline, partial)
+        self.assertEqual(code, 1, out)
+        self.assertIn("MISSING", out)
+        self.assertIn("rate4000", out)
+
+    def test_serve_step_without_p99_is_usage_error(self):
+        doc = serve_doc([(2000, 500_000, 0.0)])
+        del doc["steps"][0]["p99_ns"]
+        smoke = self.write("broken.json", doc)
+        code, out = self.run_check(smoke)
+        self.assertEqual(code, 2, out)
+        self.assertIn("p99_ns", out)
+        self.assertNotIn("Traceback", out)
+
+    def test_serve_empty_steps_is_usage_error(self):
+        smoke = self.write("empty.json", serve_doc([]))
+        code, out = self.run_check(smoke)
+        self.assertEqual(code, 2, out)
+        self.assertIn("no steps", out)
 
     def test_gbench_and_exhibit_files_gate_together(self):
         exhibit = self.write("exhibit.json",

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Unit tests for process_serve_logs.py (stdlib unittest, subprocess-driven).
+
+Feeds synthetic seer-serve JSONL streams — valid ones and every malformation
+the validator must catch — and asserts the exit codes, the diagnostics, and
+the artifact set (serve_summary.json with its gate-schema marker,
+timeseries.csv, serve_graph.svg). Pure python: runs in the source-only
+python-tools CI job as well as by hand:
+
+    python3 scripts/test_process_serve_logs.py -v
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "process_serve_logs.py")
+
+
+def header(**over):
+    rec = {"kind": "serve_header", "version": 1, "workload": "syn",
+           "policy": "RTM", "mode": "deterministic", "process": "poisson",
+           "workers": 2, "queue_capacity": 64, "table_words": 4096,
+           "rates": [1000], "duration_s": 1.0, "warmup_s": 0.0,
+           "emit_interval_ms": 100, "seed": 1}
+    rec.update(over)
+    return rec
+
+
+def interval(t_s, **over):
+    rec = {"kind": "interval", "step": 0, "t_s": t_s, "offered_rate": 1000,
+           "arrivals": 100, "accepted": 98, "rejected": 2, "completed": 97,
+           "queue_depth": 3, "p50_est_us": 12.0, "p99_est_us": 48.0}
+    rec.update(over)
+    return rec
+
+
+def step(n=0, rate=1000, **over):
+    rec = {"kind": "step", "step": n, "offered_rate": rate, "duration_s": 1.0,
+           "arrivals": 1000, "accepted": 980, "rejected": 20,
+           "rejected_fraction": 0.02, "completed": 980,
+           "throughput_rps": 980.0,
+           "latency_ns": {"count": 980, "mean": 15000.0, "p50": 12000,
+                          "p90": 30000, "p99": 48000, "p999": 90000,
+                          "max": 120000},
+           "queue_depth_peak": 9, "sgl_fraction": 0.0}
+    rec.update(over)
+    return rec
+
+
+def summary(steps=1, **over):
+    rec = {"kind": "summary", "steps": steps, "knee_rate": 0.0,
+           "saturated": False, "worst_p99_ns": 48000, "arrivals": 1000,
+           "rejected": 20, "completed": 980}
+    rec.update(over)
+    return rec
+
+
+def valid_stream():
+    return [header(), interval(0.1), interval(0.2), step(), summary()]
+
+
+class ProcessServeLogsTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write_stream(self, records):
+        path = os.path.join(self.tmp.name, "run.jsonl")
+        with open(path, "w", encoding="utf-8") as f:
+            for rec in records:
+                f.write(rec if isinstance(rec, str) else json.dumps(rec))
+                f.write("\n")
+        return path
+
+    def run_script(self, *args):
+        proc = subprocess.run([sys.executable, SCRIPT, *args],
+                              capture_output=True, text=True, check=False)
+        return proc.returncode, proc.stdout, proc.stderr
+
+    def test_valid_stream_checks_clean(self):
+        code, out, err = self.run_script(self.write_stream(valid_stream()),
+                                         "--check")
+        self.assertEqual(code, 0, err)
+        self.assertIn("1 step(s)", out)
+        self.assertIn("no saturation", out)
+
+    def test_artifacts_are_written(self):
+        out_dir = os.path.join(self.tmp.name, "artifacts")
+        code, _, err = self.run_script(self.write_stream(valid_stream()),
+                                       "-o", out_dir)
+        self.assertEqual(code, 0, err)
+        with open(os.path.join(out_dir, "serve_summary.json"),
+                  encoding="utf-8") as f:
+            doc = json.load(f)
+        # The marker key check_bench_regression.py dispatches on.
+        self.assertEqual(doc["serve_summary"], 1)
+        self.assertEqual(len(doc["steps"]), 1)
+        self.assertEqual(doc["steps"][0]["p99_ns"], 48000)
+        self.assertEqual(doc["steps"][0]["rejected_fraction"], 0.02)
+        with open(os.path.join(out_dir, "timeseries.csv"),
+                  encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        self.assertEqual(len(lines), 3)  # header + 2 intervals
+        self.assertTrue(lines[0].startswith("step,t_s,offered_rate"))
+        with open(os.path.join(out_dir, "serve_graph.svg"),
+                  encoding="utf-8") as f:
+            svg = f.read()
+        self.assertIn("<svg", svg)
+        self.assertIn("traffic over time", svg)
+
+    def test_sweep_stream_gets_the_load_curve_panel(self):
+        records = [header(rates=[500, 1000]), interval(0.1),
+                   step(0, rate=500), step(1, rate=1000),
+                   summary(steps=2, knee_rate=1000, saturated=True)]
+        out_dir = os.path.join(self.tmp.name, "artifacts")
+        path = self.write_stream(records)
+        code, out, err = self.run_script(path, "-o", out_dir)
+        self.assertEqual(code, 0, err)
+        self.assertIn("knee at 1000 req/s", out)
+        with open(os.path.join(out_dir, "serve_graph.svg"),
+                  encoding="utf-8") as f:
+            self.assertIn("tail latency vs offered load", f.read())
+
+    def test_missing_header_fails(self):
+        code, _, err = self.run_script(
+            self.write_stream([interval(0.1), step(), summary()]), "--check")
+        self.assertEqual(code, 2)
+        self.assertIn("serve_header", err)
+
+    def test_bad_json_line_fails_with_line_number(self):
+        records = [header(), "{not json", step(), summary()]
+        code, _, err = self.run_script(self.write_stream(records), "--check")
+        self.assertEqual(code, 2)
+        self.assertIn(":2", err)
+
+    def test_stream_without_steps_fails(self):
+        code, _, err = self.run_script(
+            self.write_stream([header(), summary(steps=0)]), "--check")
+        self.assertEqual(code, 2)
+        self.assertIn("no step", err)
+
+    def test_missing_summary_fails(self):
+        code, _, err = self.run_script(
+            self.write_stream([header(), step()]), "--check")
+        self.assertEqual(code, 2)
+        self.assertIn("summary", err)
+
+    def test_second_summary_fails(self):
+        code, _, err = self.run_script(
+            self.write_stream([header(), step(), summary(), summary()]),
+            "--check")
+        self.assertEqual(code, 2)
+        self.assertIn("second summary", err)
+
+    def test_step_count_mismatch_fails(self):
+        code, _, err = self.run_script(
+            self.write_stream([header(), step(), summary(steps=2)]),
+            "--check")
+        self.assertEqual(code, 2)
+        self.assertIn("2 steps", err)
+
+    def test_accounting_mismatch_fails(self):
+        bad = step(accepted=900)  # 900 + 20 != 1000
+        code, _, err = self.run_script(
+            self.write_stream([header(), bad, summary()]), "--check")
+        self.assertEqual(code, 2)
+        self.assertIn("accepted + rejected != arrivals", err)
+
+    def test_missing_latency_field_is_named(self):
+        bad = step()
+        del bad["latency_ns"]["p999"]
+        code, _, err = self.run_script(
+            self.write_stream([header(), bad, summary()]), "--check")
+        self.assertEqual(code, 2)
+        self.assertIn("p999", err)
+
+    def test_unknown_kind_fails(self):
+        records = [header(), {"kind": "mystery"}, step(), summary()]
+        code, _, err = self.run_script(self.write_stream(records), "--check")
+        self.assertEqual(code, 2)
+        self.assertIn("mystery", err)
+
+    def test_out_dir_is_required_without_check(self):
+        code, _, err = self.run_script(self.write_stream(valid_stream()))
+        self.assertEqual(code, 2)
+        self.assertIn("--out-dir", err)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -135,6 +135,66 @@ class ValidateWorkloadTest(unittest.TestCase):
         self.assertEqual(code, 2)
         self.assertIn("absent.json", err)
 
+    # --- open_loop section (the serving harness's traffic description) ----
+
+    def open_loop_config(self, open_loop):
+        return spec_config(open_loop=open_loop)
+
+    def test_good_open_loop_section_validates(self):
+        doc = self.open_loop_config({
+            "rate": 1000, "process": "poisson", "duration_s": 1.0,
+            "diurnal": {"period_s": 2.0, "amplitude": 0.3},
+            "bursts": [{"at_s": 0.5, "duration_s": 0.2, "multiplier": 4.0}],
+        })
+        code, out, err = self.validate(self.write("serve.json", doc))
+        self.assertEqual(code, 0, err)
+        self.assertIn("OK", out)
+
+    def test_open_loop_rate_and_sweep_are_mutually_exclusive(self):
+        doc = self.open_loop_config(
+            {"rate": 100, "sweep": {"rates": [100, 200]}})
+        code, _, err = self.validate(self.write("bad.json", doc))
+        self.assertEqual(code, 2)
+        self.assertIn("mutually exclusive", err)
+
+    def test_open_loop_without_rate_or_sweep_is_named(self):
+        doc = self.open_loop_config({"duration_s": 1.0})
+        code, _, err = self.validate(self.write("bad.json", doc))
+        self.assertEqual(code, 2)
+        self.assertIn("rate", err)
+
+    def test_open_loop_unknown_process_is_named(self):
+        doc = self.open_loop_config({"rate": 100, "process": "bursty"})
+        code, _, err = self.validate(self.write("bad.json", doc))
+        self.assertEqual(code, 2)
+        self.assertIn("bursty", err)
+
+    def test_open_loop_diurnal_amplitude_must_stay_below_one(self):
+        doc = self.open_loop_config(
+            {"rate": 100,
+             "diurnal": {"period_s": 1.0, "amplitude": 1.0}})
+        code, _, err = self.validate(self.write("bad.json", doc))
+        self.assertEqual(code, 2)
+        self.assertIn("amplitude", err)
+
+    def test_open_loop_sweep_rates_must_strictly_increase(self):
+        doc = self.open_loop_config({"sweep": {"rates": [200, 200]}})
+        code, _, err = self.validate(self.write("bad.json", doc))
+        self.assertEqual(code, 2)
+        self.assertIn("strictly increasing", err)
+
+    def test_open_loop_zero_queue_capacity_is_rejected(self):
+        doc = self.open_loop_config({"rate": 100, "queue_capacity": 0})
+        code, _, err = self.validate(self.write("bad.json", doc))
+        self.assertEqual(code, 2)
+        self.assertIn("queue_capacity", err)
+
+    def test_open_loop_unknown_key_is_named(self):
+        doc = self.open_loop_config({"rate": 100, "queue_cap": 64})
+        code, _, err = self.validate(self.write("bad.json", doc))
+        self.assertEqual(code, 2)
+        self.assertIn("queue_cap", err)
+
 
 @unittest.skipUnless(os.access(BENCH_BIN, os.X_OK),
                      "SEER_BENCH_BIN not set or not executable")

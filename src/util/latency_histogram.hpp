@@ -1,0 +1,154 @@
+// Latency accounting for the serving harness.
+//
+// Two complementary structures, because the harness needs two different
+// guarantees:
+//
+//   * LatencyHistogram — exact tail quantiles. Retains every recorded sample
+//     (8 bytes each — a few-minute serve run at 100k req/s fits in well under
+//     a gigabyte, and the harness keeps one per rate step), single-writer.
+//     Quantiles use the nearest-rank definition so a p999 over N samples is
+//     literally the ceil(0.999*N)-th smallest recorded value — no model, no
+//     interpolation, directly checkable against a sorted reference. Workers
+//     each own one and the driver merges them after the step quiesces.
+//
+//   * LatencyBuckets — a shared, multi-writer-safe coarse histogram (one
+//     relaxed fetch_add per record into a bit_width bucket, the obs-layer
+//     bucketing) that a monitor thread can snapshot mid-flight for the
+//     periodic JSONL interval lines. Quantiles from it are estimates with
+//     bucket-granular (~2x) resolution, clearly labelled *_est in the output;
+//     the exact per-step numbers always come from LatencyHistogram.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace seer::util {
+
+class LatencyHistogram {
+ public:
+  void record(std::uint64_t v) {
+    samples_.push_back(v);
+    sum_ += v;
+  }
+
+  void merge(const LatencyHistogram& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sum_ += other.sum_;
+  }
+
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  [[nodiscard]] std::uint64_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return samples_.empty() ? 0.0
+                            : static_cast<double>(sum_) /
+                                  static_cast<double>(samples_.size());
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return samples_.empty() ? 0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  // Nearest-rank quantile: the ceil(q*N)-th smallest sample (1-based),
+  // clamped to [1, N]. Exact — q=0.5 of {1,2,3,4} is 2, q=1 is the max.
+  // Returns 0 for an empty histogram.
+  [[nodiscard]] std::uint64_t quantile(double q) const {
+    if (samples_.empty()) return 0;
+    std::vector<std::uint64_t> scratch(samples_);
+    const std::size_t idx = rank_of(q, scratch.size());
+    std::nth_element(scratch.begin(),
+                     scratch.begin() + static_cast<std::ptrdiff_t>(idx),
+                     scratch.end());
+    return scratch[idx];
+  }
+
+  // Several quantiles from one sort (the step-end summary asks for five).
+  [[nodiscard]] std::vector<std::uint64_t> quantiles(
+      std::span<const double> qs) const {
+    std::vector<std::uint64_t> out(qs.size(), 0);
+    if (samples_.empty()) return out;
+    std::vector<std::uint64_t> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      out[i] = sorted[rank_of(qs[i], sorted.size())];
+    }
+    return out;
+  }
+
+ private:
+  // 0-based index of the nearest-rank order statistic for q over n samples.
+  [[nodiscard]] static std::size_t rank_of(double q, std::size_t n) noexcept {
+    if (q <= 0.0) return 0;
+    const double r = std::ceil(q * static_cast<double>(n));
+    if (r <= 1.0) return 0;
+    if (r >= static_cast<double>(n)) return n - 1;
+    return static_cast<std::size_t>(r) - 1;
+  }
+
+  std::vector<std::uint64_t> samples_;
+  std::uint64_t sum_ = 0;
+};
+
+// Bucket b counts samples v with bit_width(v) == b: bucket 0 is exactly 0,
+// bucket b >= 1 spans [2^(b-1), 2^b) — the obs-layer convention.
+inline constexpr std::size_t kLatencyBucketCount = 65;
+using LatencyBucketCounts = std::array<std::uint64_t, kLatencyBucketCount>;
+
+class LatencyBuckets {
+ public:
+  void record(std::uint64_t v) noexcept {
+    buckets_[static_cast<std::size_t>(std::bit_width(v))].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  // Safe while writers keep recording: each bucket value read is a valid,
+  // possibly slightly stale count.
+  [[nodiscard]] LatencyBucketCounts snapshot() const noexcept {
+    LatencyBucketCounts out{};
+    for (std::size_t i = 0; i < kLatencyBucketCount; ++i) {
+      out[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kLatencyBucketCount> buckets_{};
+};
+
+// Quantile estimate over bucketed counts (e.g. the delta of two
+// LatencyBuckets snapshots): finds the bucket holding the nearest-rank
+// sample and interpolates linearly inside its [2^(b-1), 2^b) value range by
+// the rank's position within the bucket. Resolution is bucket-granular; the
+// true quantile lies within the returned bucket's bounds. Returns 0 when the
+// counts are empty.
+[[nodiscard]] inline double bucket_quantile_estimate(
+    const LatencyBucketCounts& counts, double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = std::ceil(q * static_cast<double>(total));
+  if (rank < 1.0) rank = 1.0;
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kLatencyBucketCount; ++b) {
+    if (counts[b] == 0) continue;
+    if (static_cast<double>(cum + counts[b]) >= rank) {
+      if (b == 0) return 0.0;
+      const double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+      const double hi =
+          b >= 64 ? std::ldexp(1.0, 64) : std::ldexp(1.0, static_cast<int>(b));
+      const double within =
+          (rank - static_cast<double>(cum)) / static_cast<double>(counts[b]);
+      return lo + (hi - lo) * within;
+    }
+    cum += counts[b];
+  }
+  return std::ldexp(1.0, 64);  // unreachable with consistent counts
+}
+
+}  // namespace seer::util

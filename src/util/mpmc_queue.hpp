@@ -1,0 +1,117 @@
+// Bounded lock-free MPMC queue (Vyukov's array queue).
+//
+// The serving harness's admission queue: the open-loop generator pushes
+// timestamped requests without ever blocking — a full queue is an explicit
+// *shed* (try_push returns false and the caller counts a rejection), because
+// an open-loop producer that blocks silently degrades into a closed-loop one
+// and the latency numbers stop meaning anything. Workers pop concurrently.
+//
+// Each cell carries a sequence number that encodes, relative to the two
+// monotonically increasing positions, whether the cell is empty (seq ==
+// enqueue position), full (seq == dequeue position + 1), or still being
+// filled/drained by another thread (anything else — the operation backs off
+// and re-reads the position). Both ends are wait-free in the absence of
+// contention and lock-free under it; no operation ever waits on a thread
+// that is descheduled mid-cell, because try_push/try_pop give up and report
+// full/empty instead of spinning on the in-flight cell.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "util/cacheline.hpp"
+
+namespace seer::util {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  // Capacity is rounded up to a power of two, minimum 2.
+  explicit MpmcQueue(std::size_t min_capacity)
+      : mask_(std::bit_ceil(min_capacity < 2 ? std::size_t{2} : min_capacity) - 1),
+        cells_(std::make_unique<Cell[]>(mask_ + 1)) {
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  // False = queue full (shed). Never blocks.
+  [[nodiscard]] bool try_push(T&& v) noexcept {
+    std::size_t pos = enqueue_.value.load(std::memory_order_relaxed);
+    while (true) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (enqueue_.value.compare_exchange_weak(pos, pos + 1,
+                                                 std::memory_order_relaxed)) {
+          cell.value = std::move(v);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS lost: pos was reloaded, retry with it.
+      } else if (diff < 0) {
+        return false;  // the cell still holds an unconsumed element: full
+      } else {
+        pos = enqueue_.value.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // False = queue empty. Never blocks.
+  [[nodiscard]] bool try_pop(T& out) noexcept {
+    std::size_t pos = dequeue_.value.load(std::memory_order_relaxed);
+    while (true) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_.value.compare_exchange_weak(pos, pos + 1,
+                                                 std::memory_order_relaxed)) {
+          out = std::move(cell.value);
+          cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // the cell has not been published yet: empty
+      } else {
+        pos = dequeue_.value.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Instantaneous depth estimate for monitoring. Racy by nature (the two
+  // positions are read at different moments), clamped to [0, capacity].
+  [[nodiscard]] std::size_t approx_size() const noexcept {
+    const std::size_t e = enqueue_.value.load(std::memory_order_relaxed);
+    const std::size_t d = dequeue_.value.load(std::memory_order_relaxed);
+    if (e <= d) return 0;
+    const std::size_t n = e - d;
+    return n > capacity() ? capacity() : n;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq;
+    T value;
+  };
+
+  std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  // The two positions live on their own cache lines so producers and
+  // consumers do not false-share.
+  Padded<std::atomic<std::size_t>> enqueue_{};
+  Padded<std::atomic<std::size_t>> dequeue_{};
+};
+
+}  // namespace seer::util

@@ -124,10 +124,12 @@ auto parallel_for_indexed(ThreadPool& pool, std::size_t n, F&& fn)
         errors[i] = std::current_exception();
       }
       {
+        // Notify while still holding the lock: the caller destroys done_cv
+        // the moment its wait sees done == n, so a notify after unlocking
+        // could touch a dead condition variable.
         std::lock_guard<std::mutex> lk(done_mu);
-        ++done;
+        if (++done == n) done_cv.notify_one();
       }
-      done_cv.notify_one();
     });
   }
   {

@@ -177,8 +177,9 @@ Desc from_config_json(const Value& doc, const std::string& origin) {
     }
     jsonu::fail(origin, "missing required key \"generator\"");
   }
-  jsonu::reject_unknown(doc, {"generator", "name", "txs_per_thread", "params"},
-                        origin);
+  jsonu::reject_unknown(
+      doc, {"generator", "name", "txs_per_thread", "params", "open_loop"},
+      origin);
   const std::string& generator = jsonu::require_str(doc, "generator", origin);
   const Factory* f = Registry::global().lookup(generator);
   if (f == nullptr) {
@@ -207,6 +208,10 @@ Desc from_config_json(const Value& doc, const std::string& origin) {
       jsonu::opt_u64(doc, "txs_per_thread", d.bench_txs_per_thread, origin);
   if (d.bench_txs_per_thread == 0) {
     jsonu::fail(jsonu::sub(origin, "txs_per_thread"), "must be at least 1");
+  }
+  if (const Value* ol = doc.find("open_loop"); ol != nullptr) {
+    d.open_loop = std::make_shared<const OpenLoopConfig>(
+        OpenLoopConfig::from_json(*ol, jsonu::sub(origin, "open_loop")));
   }
   return d;
 }

@@ -15,9 +15,14 @@
 //
 // A raw instance-trace file (trace.hpp's format — it has "version" and
 // "threads" instead of "generator") is also accepted and wraps itself in a
-// trace-replay generator. All validation happens at config-parse time:
-// unknown names, missing/mistyped fields, and out-of-range values throw
-// ConfigError naming the bad key, which the CLIs print and exit non-zero.
+// trace-replay generator. An optional top-level "open_loop" object describes
+// open-loop traffic over the generator (arrival rate/process, diurnal curve,
+// bursts, admission-queue bound — open_loop.hpp documents the schema); it is
+// validated here like everything else but only tools/seer_serve consumes it,
+// the closed-loop bench harnesses ignore it. All validation happens at
+// config-parse time: unknown names, missing/mistyped fields, and
+// out-of-range values throw ConfigError naming the bad key, which the CLIs
+// print and exit non-zero.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +34,7 @@
 #include "stamp/workloads.hpp"
 #include "util/json.hpp"
 #include "workload/generator.hpp"
+#include "workload/open_loop.hpp"
 
 namespace seer::workload {
 
@@ -38,6 +44,9 @@ struct Desc {
   std::string name;
   std::uint64_t bench_txs_per_thread = 4000;
   std::function<std::unique_ptr<Generator>(std::size_t n_threads)> make;
+  // The config's "open_loop" section; null when absent (every registered
+  // NAME, and any config without one). seer_serve requires it.
+  std::shared_ptr<const OpenLoopConfig> open_loop;
 
   Desc() = default;
   Desc(std::string n, std::uint64_t txs,

@@ -57,16 +57,7 @@ ThreadedRunResult run_threaded(Generator& gen, htm::SoftHtm& tm,
         const double progress = static_cast<double>(i) /
                                 static_cast<double>(opts.txs_per_thread);
         gen.next(id, progress, rng, inst);
-        (void)h->run(inst.type, [&](auto& tx) {
-          for (const std::uint32_t line : inst.reads) {
-            (void)tx.read(words[line % words.size()]);
-          }
-          for (const std::uint32_t line : inst.writes) {
-            htm::TmWord& w = words[line % words.size()];
-            const std::uint64_t v = tx.read(w);
-            tx.write(w, v + 1);
-          }
-        });
+        (void)run_instance(*h, words, inst);
         ++txs[t];
         writes[t] += inst.writes.size();
       }

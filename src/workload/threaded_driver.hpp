@@ -43,6 +43,27 @@ struct ThreadedRunOptions {
   obs::MetricsRegistry* metrics = nullptr;  // frozen by the driver before spawn
 };
 
+// Executes one sampled instance as a real transaction on handle `h`: every
+// read line is tx.read, every write line a read-modify-write increment, with
+// line ids mapped onto `words` modulo its size. This is the one body shape
+// both drivers use — the closed-loop benchmark driver below and the
+// open-loop serve driver (serve_driver.hpp) — so latency and throughput
+// numbers from either are about the same memory traffic.
+inline rt::CommitMode run_instance(rt::ThreadedExecutor::ThreadHandle& h,
+                                   std::span<htm::TmWord> words,
+                                   const TxInstance& inst) {
+  return h.run(inst.type, [&](auto& tx) {
+    for (const std::uint32_t line : inst.reads) {
+      (void)tx.read(words[line % words.size()]);
+    }
+    for (const std::uint32_t line : inst.writes) {
+      htm::TmWord& w = words[line % words.size()];
+      const std::uint64_t v = tx.read(w);
+      tx.write(w, v + 1);
+    }
+  });
+}
+
 struct ThreadedRunResult {
   std::uint64_t txs = 0;           // committed transactions (all threads)
   std::uint64_t total_writes = 0;  // increments applied by committed bodies

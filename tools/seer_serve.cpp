@@ -1,0 +1,172 @@
+// seer-serve — the open-loop latency service harness (DESIGN.md §12).
+//
+// Runs a workload config's generator as a long-lived transactional service
+// under a scheduling policy and an `open_loop` traffic schedule, and writes
+// the JSONL measurement stream run_serve produces (header, periodic
+// intervals, one step per swept rate, summary with the saturation knee).
+// scripts/process_serve_logs.py turns that stream into summaries and graphs;
+// CI gates the deterministic run against bench/baseline_serve.json.
+//
+// Two backends, selected by --deterministic:
+//   real           measure THIS machine: wall-clock arrivals, real threads,
+//                  real SoftHtm transactions;
+//   deterministic  virtual-time queueing simulation of the same schedule —
+//                  byte-identical output for a (config, seed) pair at any
+//                  --jobs, which is what makes it CI-gateable.
+//
+// Exit codes: 0 run completed, 2 usage/config error (including a workload
+// config without an `open_loop` section — this tool has no default traffic).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "runtime/policies.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/registry.hpp"
+#include "workload/serve_driver.hpp"
+
+namespace {
+
+using seer::workload::ServeOptions;
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --workload FILE.json [options]\n"
+      "\n"
+      "Serves the config's generator under its open_loop traffic schedule\n"
+      "and writes the JSONL measurement stream to stdout (or --out).\n"
+      "\n"
+      "  --workload FILE.json   workload config with an open_loop section\n"
+      "  --policy NAME          HLE|RTM|SCM|ATS|SGL|Seer|Oracle (default RTM)\n"
+      "  --workers N            override the config's service thread count\n"
+      "  --deterministic        virtual-time backend (byte-stable output)\n"
+      "  --jobs N               deterministic only: parallel rate steps\n"
+      "                         (0 = all cores); output bytes are identical\n"
+      "  --seed N               arrival/instance RNG seed (default 1)\n"
+      "  --rate R               override: serve only this rate (no sweep)\n"
+      "  --duration S           override the per-step measured window\n"
+      "  --metrics              real mode: runtime counter deltas on\n"
+      "                         interval lines (needs SEER_OBS=ON)\n"
+      "  --out FILE             write JSONL here instead of stdout\n",
+      argv0);
+}
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "seer-serve: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+bool parse_policy(const std::string& name, seer::rt::PolicyKind& out) {
+  using seer::rt::PolicyKind;
+  const PolicyKind kinds[] = {PolicyKind::kHle, PolicyKind::kRtm,
+                              PolicyKind::kScm, PolicyKind::kAts,
+                              PolicyKind::kSgl, PolicyKind::kSeer,
+                              PolicyKind::kOracle};
+  for (const PolicyKind k : kinds) {
+    if (name == seer::rt::to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload_path;
+  std::string out_path;
+  ServeOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) die("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      workload_path = next();
+    } else if (arg == "--policy") {
+      const std::string name = next();
+      if (!parse_policy(name, opts.policy.kind)) {
+        die("unknown policy \"" + name +
+            "\" (known: HLE, RTM, SCM, ATS, SGL, Seer, Oracle)");
+      }
+    } else if (arg == "--workers") {
+      opts.workers_override = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--deterministic") {
+      opts.deterministic = true;
+    } else if (arg == "--jobs") {
+      const long long v = std::atoll(next());
+      opts.jobs = v <= 0 ? seer::util::ThreadPool::hardware_jobs()
+                         : static_cast<std::size_t>(v);
+    } else if (arg == "--seed") {
+      opts.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--rate") {
+      opts.rate_override = std::atof(next());
+      if (opts.rate_override <= 0.0) die("--rate must be positive");
+    } else if (arg == "--duration") {
+      opts.duration_override_s = std::atof(next());
+      if (opts.duration_override_s <= 0.0) die("--duration must be positive");
+    } else if (arg == "--metrics") {
+      opts.emit_metrics = true;
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (workload_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  seer::workload::ServeReport report;
+  try {
+    const seer::workload::Desc desc = seer::workload::resolve(workload_path);
+    if (!desc.open_loop) {
+      die("workload config " + workload_path +
+          " has no \"open_loop\" section — seer-serve needs a traffic "
+          "schedule (see bench/workloads/serve_smoke.json)");
+    }
+    report = seer::workload::run_serve(desc, *desc.open_loop, opts);
+  } catch (const seer::workload::ConfigError& e) {
+    die(e.what());
+  }
+
+  if (out_path.empty()) {
+    std::fwrite(report.jsonl.data(), 1, report.jsonl.size(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) die("cannot open " + out_path + " for writing");
+    std::fwrite(report.jsonl.data(), 1, report.jsonl.size(), f);
+    std::fclose(f);
+  }
+
+  // Human-readable digest on stderr so stdout stays pure JSONL.
+  for (std::size_t i = 0; i < report.steps.size(); ++i) {
+    const seer::workload::StepStats& s = report.steps[i];
+    std::fprintf(stderr,
+                 "step %zu: rate %.0f/s  completed %llu  rejected %.2f%%  "
+                 "p50 %.1fus  p99 %.1fus  p999 %.1fus\n",
+                 i, s.offered_rate,
+                 static_cast<unsigned long long>(s.completed),
+                 100.0 * s.rejected_fraction,
+                 static_cast<double>(s.p50_ns) / 1000.0,
+                 static_cast<double>(s.p99_ns) / 1000.0,
+                 static_cast<double>(s.p999_ns) / 1000.0);
+  }
+  if (report.saturated) {
+    std::fprintf(stderr, "saturation knee: %.0f req/s\n", report.knee_rate);
+  } else {
+    std::fprintf(stderr, "no saturation within the swept rates\n");
+  }
+  return 0;
+}
